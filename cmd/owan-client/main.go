@@ -1,0 +1,85 @@
+// Command owan-client is the site agent: it connects to a running
+// owan-controller, submits one or more bulk-transfer requests, and prints
+// the rate allocations it receives each slot (a production agent would
+// program them into host rate limiters).
+//
+// Usage:
+//
+//	owan-client -controller 127.0.0.1:9200 -site 0 -submit 1:4000    # 4000 Gbit to site 1
+//	owan-client -controller 127.0.0.1:9200 -site 2 -submit 5:800:12  # with a 12-slot deadline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"owan/internal/controlplane"
+)
+
+func main() {
+	var (
+		addr    = flag.String("controller", "127.0.0.1:9200", "controller address")
+		site    = flag.Int("site", 0, "this client's site id")
+		submit  = flag.String("submit", "", "comma-separated transfers dst:gbits[:deadline-slots]")
+		watch   = flag.Duration("watch", 30*time.Second, "how long to print rate updates before exiting")
+		statusQ = flag.Bool("status", false, "query controller status and exit")
+	)
+	flag.Parse()
+
+	cl, err := controlplane.Dial(*addr, *site, func(rates []controlplane.WireRate) {
+		for _, r := range rates {
+			fmt.Printf("rate: transfer %d -> %.2f Gbps on path %v\n", r.TransferID, r.RateGbps, r.Path)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	if *statusQ {
+		st, err := cl.Status()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("slot=%d active=%d completed=%d circuits=%d\n", st.Slot, st.Active, st.Completed, st.Circuits)
+		return
+	}
+
+	if *submit != "" {
+		for _, spec := range strings.Split(*submit, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) < 2 || len(parts) > 3 {
+				log.Fatalf("bad transfer spec %q (want dst:gbits[:deadline])", spec)
+			}
+			dst, err := strconv.Atoi(parts[0])
+			if err != nil {
+				log.Fatalf("bad destination in %q: %v", spec, err)
+			}
+			gbits, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				log.Fatalf("bad size in %q: %v", spec, err)
+			}
+			req := controlplane.WireRequest{Src: *site, Dst: dst, SizeGbits: gbits}
+			if len(parts) == 3 {
+				dl, err := strconv.Atoi(parts[2])
+				if err != nil {
+					log.Fatalf("bad deadline in %q: %v", spec, err)
+				}
+				req.DeadlineSlots = dl
+			}
+			id, err := cl.Submit(req)
+			if err != nil {
+				log.Fatalf("submit %q: %v", spec, err)
+			}
+			fmt.Printf("submitted transfer %d: site %d -> %d, %.0f Gbit\n", id, *site, dst, gbits)
+		}
+	}
+	if *watch > 0 {
+		fmt.Printf("watching rate updates for %s...\n", watch)
+		time.Sleep(*watch)
+	}
+}

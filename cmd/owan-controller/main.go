@@ -1,0 +1,80 @@
+// Command owan-controller runs the centralized Owan controller: it listens
+// for client connections (see cmd/owan-client), accepts transfer requests,
+// and every slot computes the joint optical/network configuration and
+// pushes rate allocations back to the submitting clients.
+//
+// Usage:
+//
+//	owan-controller -listen 127.0.0.1:9200 -topo internet2 -slot 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"owan/internal/controlplane"
+	"owan/internal/core"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9200", "listen address")
+		kind   = flag.String("topo", "internet2", "topology: internet2|isp|interdc")
+		ports  = flag.Int("ports", 10, "router ports per site")
+		slot   = flag.Duration("slot", 5*time.Second, "slot duration (paper: 5m; demos use seconds)")
+		seed   = flag.Int64("seed", 1, "annealing seed")
+	)
+	flag.Parse()
+
+	var nw *topology.Network
+	switch *kind {
+	case "internet2":
+		nw = topology.Internet2(*ports)
+	case "isp":
+		nw = topology.ISP(40, *ports, *seed)
+	case "interdc":
+		nw = topology.InterDC(25, 5, *ports, *seed)
+	default:
+		log.Fatalf("unknown topology %q", *kind)
+	}
+
+	ctrl, err := controlplane.NewController(core.Config{
+		Net: nw, Policy: transfer.SJF, Seed: *seed,
+	}, slot.Seconds(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("owan-controller: %s, %d sites, slot %s, listening on %s\n",
+		nw.Name, nw.NumSites(), slot, lis.Addr())
+
+	go ctrl.Serve(lis)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(*slot)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := ctrl.Tick()
+			up := ctrl.LastUpdatePlan()
+			log.Printf("slot %d: energy %.1f Gbps (from %.1f), %d SA iterations, churn %d, update %d ops/%d rounds, completed %d",
+				ctrl.Slot()-1, st.BestEnergy, st.InitialEnergy, st.Iterations, st.Churn, up.Ops, up.Rounds, ctrl.Completed())
+		case <-sig:
+			fmt.Println("\nshutting down")
+			ctrl.Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command owan-topo inspects the evaluation topologies: sites, router
+// ports, fibers, regenerator concentration sites, and the initial
+// network-layer topology derived from the fiber map.
+//
+// Usage:
+//
+//	owan-topo -topo internet2
+//	owan-topo -topo isp -sites 40 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"owan/internal/topology"
+)
+
+func main() {
+	var (
+		kind    = flag.String("topo", "internet2", "topology: internet2|isp|interdc|square")
+		sites   = flag.Int("sites", 40, "site count (isp/interdc)")
+		ports   = flag.Int("ports", 10, "router ports per site")
+		seed    = flag.Int64("seed", 1, "generator seed (isp/interdc)")
+		asJSON  = flag.Bool("json", false, "emit the network as JSON (editable, reloadable)")
+		fromFil = flag.String("load", "", "load a network from a JSON file instead of generating one")
+	)
+	flag.Parse()
+
+	var net *topology.Network
+	if *fromFil != "" {
+		f, err := os.Open(*fromFil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		net, err = topology.ReadNetwork(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printNetwork(net)
+		return
+	}
+	switch *kind {
+	case "internet2":
+		net = topology.Internet2(*ports)
+	case "isp":
+		net = topology.ISP(*sites, *ports, *seed)
+	case "interdc":
+		net = topology.InterDC(*sites, 5, *ports, *seed)
+	case "square":
+		net = topology.Square()
+	default:
+		log.Fatalf("unknown topology %q", *kind)
+	}
+	if err := net.Validate(); err != nil {
+		log.Fatalf("invalid topology: %v", err)
+	}
+	if *asJSON {
+		if _, err := net.WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printNetwork(net)
+}
+
+func printNetwork(net *topology.Network) {
+	fmt.Printf("topology %s: %d sites, %d fibers, θ=%.0f Gbps, reach %.0f km\n",
+		net.Name, net.NumSites(), len(net.Fibers), net.ThetaGbps, net.ReachKm)
+	fmt.Println("\nsites:")
+	for _, s := range net.Sites {
+		regen := ""
+		if s.Regenerators > 0 {
+			regen = fmt.Sprintf("  regenerators=%d", s.Regenerators)
+		}
+		fmt.Printf("  %2d %-8s ports=%d%s\n", s.ID, s.Name, s.RouterPorts, regen)
+	}
+	fmt.Println("\nfibers:")
+	for _, f := range net.Fibers {
+		fmt.Printf("  %2d %-8s - %-8s %6.0f km  %d wavelengths\n",
+			f.ID, net.Sites[f.A].Name, net.Sites[f.B].Name, f.LengthKm, f.Wavelengths)
+	}
+	ls := topology.InitialTopology(net)
+	fmt.Printf("\ninitial network-layer topology (%d circuits):\n", ls.TotalCircuits())
+	for _, l := range ls.Links() {
+		fmt.Printf("  %-8s - %-8s x%d\n", net.Sites[l.U].Name, net.Sites[l.V].Name, l.Count)
+	}
+}

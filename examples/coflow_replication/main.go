@@ -1,0 +1,117 @@
+// Coflow replication (§3.4 "group of transfers"): a search-index push from
+// one datacenter to several replicas only counts when the *last* replica
+// finishes. This example compares plain SJF ordering against the
+// Smallest-Effective-Bottleneck-First (SEBF) group ordering on the average
+// group completion time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"owan/internal/alloc"
+	"owan/internal/coflow"
+	"owan/internal/core"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+func buildScenario() (*topology.Network, *coflow.Set, []*transfer.Transfer) {
+	// Tight ports make the CORE0 egress the shared bottleneck both groups
+	// fight over.
+	net := topology.InterDC(15, 5, 2, 3)
+	set := coflow.NewSet()
+	var all []*transfer.Transfer
+	id := 0
+	mk := func(src, dst int, size float64) *transfer.Transfer {
+		t := transfer.NewTransfer(transfer.Request{
+			ID: id, Src: src, Dst: dst, SizeGbits: size, Deadline: transfer.NoDeadline,
+		})
+		id++
+		all = append(all, t)
+		return t
+	}
+	// Group 0: small config push from CORE0 to three leaves.
+	if _, err := set.AddGroup(mk(0, 6, 2000), mk(0, 7, 2000), mk(0, 8, 2000)); err != nil {
+		log.Fatal(err)
+	}
+	// Group 1: a wide index replication, also from CORE0. Each member is
+	// individually smaller than group 0's members, so per-transfer SJF
+	// serves all of them first and delays group 0 — even though group 1 as
+	// a whole takes far longer to finish. SEBF orders by group bottleneck
+	// instead.
+	var wide []*transfer.Transfer
+	for d := 6; d <= 13; d++ {
+		wide = append(wide, mk(0, d, 1800))
+	}
+	if _, err := set.AddGroup(wide...); err != nil {
+		log.Fatal(err)
+	}
+	return net, set, all
+}
+
+// simulateOrdering drives slot-by-slot allocation with a fixed transfer
+// ordering function, returning the average group completion time.
+func simulateOrdering(name string, order func(set *coflow.Set, ts []*transfer.Transfer, net *topology.Network, ls *topology.LinkSet)) float64 {
+	net, set, all := buildScenario()
+	o := core.New(core.Config{Net: net, Policy: transfer.SJF, Seed: 11, MaxIterations: 200})
+	topo := topology.InitialTopology(net)
+	const slotSeconds = 60.0
+	now := 0.0
+	for slot := 0; slot < 200; slot++ {
+		// Snap sub-kilobyte residues, as internal/sim does, so allocator
+		// rate floors cannot leave a transfer asymptotically unfinished.
+		for _, t := range all {
+			if !t.Done && t.Remaining <= 1e-5 {
+				t.Remaining = 0
+				t.Done = true
+				t.FinishTime = now
+			}
+		}
+		active := transfer.Active(all, slot)
+		if len(active) == 0 {
+			break
+		}
+		order(set, active, net, topo)
+		st := o.ComputeNetworkState(topo, active, slot, slotSeconds)
+		topo = st.Topology
+		// Re-apply the ordering to the demand list: ComputeNetworkState
+		// orders internally by SJF, so for the SEBF variant we allocate
+		// explicitly on the chosen topology.
+		demands := alloc.DemandsFromTransfers(active, slotSeconds)
+		res := alloc.Greedy(st.Effective, net.ThetaGbps, demands)
+		for _, t := range active {
+			t.Alloc = res.Alloc[t.ID]
+			t.Advance(now, slotSeconds, slot)
+			t.Alloc = nil
+		}
+		now += slotSeconds
+	}
+	sum, n := 0.0, 0
+	for _, g := range set.Groups() {
+		ct := g.CompletionTime()
+		fmt.Printf("  [%s] group %d: completion %.0f s\n", name, g.ID, ct)
+		sum += ct
+		n++
+	}
+	return sum / float64(n)
+}
+
+func main() {
+	fmt.Println("Coflow replication on the inter-DC topology (3 groups, 9 transfers)")
+	fmt.Println()
+	sjf := simulateOrdering("sjf", func(set *coflow.Set, ts []*transfer.Transfer, net *topology.Network, ls *topology.LinkSet) {
+		transfer.Order(ts, transfer.SJF, 0, 0)
+	})
+	fmt.Println()
+	sebf := simulateOrdering("sebf", func(set *coflow.Set, ts []*transfer.Transfer, net *topology.Network, ls *topology.LinkSet) {
+		set.OrderSEBF(ts, net, ls)
+	})
+	fmt.Println()
+	fmt.Printf("average group completion: SJF %.0f s, SEBF %.0f s\n", sjf, sebf)
+	if sebf <= sjf {
+		fmt.Println("SEBF meets or beats per-transfer SJF on group completion, as §3.4 suggests")
+	} else {
+		fmt.Println("note: on this draw SJF won; SEBF's advantage grows with group contention")
+	}
+}

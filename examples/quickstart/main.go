@@ -1,0 +1,71 @@
+// Quickstart: build the Internet2 topology, submit a handful of bulk
+// transfers, and let the Owan controller core jointly pick the optical
+// topology, routing paths, and rates for one scheduling slot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"owan/internal/core"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+func main() {
+	// 1. The physical network: 9 sites, fibers with 80 wavelengths of
+	// 10 Gbps, 2000 km optical reach, pre-placed regenerators.
+	net := topology.Internet2(8)
+	if err := net.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d sites, %d fibers, %d router ports\n",
+		net.NumSites(), len(net.Fibers), net.TotalPorts())
+
+	// 2. A few bulk transfers (sizes in gigabits; 500 GB = 4000 Gbit).
+	reqs := []transfer.Request{
+		{ID: 0, Src: 0, Dst: 8, SizeGbits: 24000, Deadline: transfer.NoDeadline}, // SEAT -> NEWY, 3 TB
+		{ID: 1, Src: 1, Dst: 5, SizeGbits: 8000, Deadline: transfer.NoDeadline},  // LOSA -> CHIC, 1 TB
+		{ID: 2, Src: 4, Dst: 6, SizeGbits: 4000, Deadline: transfer.NoDeadline},  // HOUS -> ATLA, 500 GB
+		{ID: 3, Src: 0, Dst: 8, SizeGbits: 4000, Deadline: transfer.NoDeadline},  // SEAT -> NEWY, 500 GB
+	}
+	var ts []*transfer.Transfer
+	for _, r := range reqs {
+		ts = append(ts, transfer.NewTransfer(r))
+	}
+
+	// 3. The controller core: simulated annealing over topologies with
+	// SJF-ordered greedy routing/rate assignment as the energy function.
+	owan := core.New(core.Config{Net: net, Policy: transfer.SJF, Seed: 42})
+	current := topology.InitialTopology(net)
+	state := owan.ComputeNetworkState(current, ts, 0, 300)
+
+	fmt.Printf("\nsearch: %d iterations, energy %.1f -> %.1f Gbps, %d circuit changes\n",
+		state.Stats.Iterations, state.Stats.InitialEnergy, state.Stats.BestEnergy, state.Stats.Churn)
+
+	fmt.Println("\nchosen network-layer topology:")
+	for _, l := range state.Effective.Links() {
+		fmt.Printf("  %-5s - %-5s x%d\n", net.Sites[l.U].Name, net.Sites[l.V].Name, l.Count)
+	}
+
+	fmt.Println("\nallocations for this slot:")
+	for _, t := range ts {
+		total := 0.0
+		for _, pr := range state.Alloc[t.ID] {
+			total += pr.Rate
+		}
+		fmt.Printf("  transfer %d (%s -> %s, %5.0f Gbit): %.1f Gbps over %d paths\n",
+			t.ID, net.Sites[t.Src].Name, net.Sites[t.Dst].Name, t.SizeGbits, total, len(state.Alloc[t.ID]))
+		for _, pr := range state.Alloc[t.ID] {
+			fmt.Printf("      %.1f Gbps via %v\n", pr.Rate, names(net, pr.Path))
+		}
+	}
+}
+
+func names(net *topology.Network, path []int) []string {
+	out := make([]string, len(path))
+	for i, v := range path {
+		out[i] = net.Sites[v].Name
+	}
+	return out
+}

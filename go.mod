@@ -1,0 +1,3 @@
+module owan
+
+go 1.22

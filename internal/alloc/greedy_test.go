@@ -1,0 +1,234 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+// square returns the 4-node ring topology of the paper's motivating example
+// (Figure 3): R0-R1, R0-R2, R1-R3, R2-R3, one circuit (10 units) each.
+func square() *topology.LinkSet {
+	ls := topology.NewLinkSet(4)
+	ls.Add(0, 1, 1)
+	ls.Add(0, 2, 1)
+	ls.Add(1, 3, 1)
+	ls.Add(2, 3, 1)
+	return ls
+}
+
+func TestGreedySingleDemand(t *testing.T) {
+	// One transfer R0->R1 wanting 20: gets 10 direct + 10 via R0-R2-R3-R1.
+	res := Greedy(square(), 10, []Demand{{ID: 0, Src: 0, Dst: 1, RateGbps: 20}})
+	if math.Abs(res.Throughput-20) > 1e-9 {
+		t.Errorf("throughput = %v, want 20", res.Throughput)
+	}
+	prs := res.Alloc[0]
+	if len(prs) != 2 {
+		t.Fatalf("paths = %d, want 2", len(prs))
+	}
+	if len(prs[0].Path) != 2 || prs[0].Rate != 10 {
+		t.Errorf("first path should be the 1-hop at 10: %+v", prs[0])
+	}
+	if len(prs[1].Path) != 4 || prs[1].Rate != 10 {
+		t.Errorf("second path should be the 3-hop at 10: %+v", prs[1])
+	}
+}
+
+func TestGreedyLengthTiersProtectDirectPaths(t *testing.T) {
+	// F0 (R0->R1) and F1 (R2->R3) both demand 20. Algorithm 3's length-tier
+	// loop hands every transfer its 1-hop path before anyone claims longer
+	// paths, so F0 cannot lock F1 out by grabbing the 3-hop detour through
+	// R2-R3 first: both end up with their direct 10.
+	res := Greedy(square(), 10, []Demand{
+		{ID: 0, Src: 0, Dst: 1, RateGbps: 20},
+		{ID: 1, Src: 2, Dst: 3, RateGbps: 20},
+	})
+	if math.Abs(res.Throughput-20) > 1e-9 {
+		t.Errorf("throughput = %v, want 20", res.Throughput)
+	}
+	for id := 0; id <= 1; id++ {
+		if len(res.Alloc[id]) != 1 || res.Alloc[id][0].Rate != 10 || len(res.Alloc[id][0].Path) != 2 {
+			t.Errorf("F%d should hold exactly its direct path at 10: %+v", id, res.Alloc[id])
+		}
+	}
+}
+
+func TestGreedyTiersShortPathsFirst(t *testing.T) {
+	// Both transfers should get their 1-hop path before anyone claims a
+	// longer path: F0 (R0->R1) and F1 (R2->R3) each demand 10 -> both direct.
+	res := Greedy(square(), 10, []Demand{
+		{ID: 0, Src: 0, Dst: 1, RateGbps: 10},
+		{ID: 1, Src: 2, Dst: 3, RateGbps: 10},
+	})
+	if math.Abs(res.Throughput-20) > 1e-9 {
+		t.Errorf("throughput = %v, want 20", res.Throughput)
+	}
+	for id, prs := range res.Alloc {
+		if len(prs) != 1 || len(prs[0].Path) != 2 {
+			t.Errorf("transfer %d should use its direct path only: %+v", id, prs)
+		}
+	}
+}
+
+func TestGreedyPlanCReconfiguredTopology(t *testing.T) {
+	// Plan C topology: both R0 ports to R1, both R2 ports to R3.
+	ls := topology.NewLinkSet(4)
+	ls.Add(0, 1, 2)
+	ls.Add(2, 3, 2)
+	res := Greedy(ls, 10, []Demand{
+		{ID: 0, Src: 0, Dst: 1, RateGbps: 20},
+		{ID: 1, Src: 2, Dst: 3, RateGbps: 20},
+	})
+	if math.Abs(res.Throughput-40) > 1e-9 {
+		t.Errorf("throughput = %v, want 40 (both at 20)", res.Throughput)
+	}
+}
+
+func TestGreedyRespectsCapacities(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		ls := topology.NewLinkSet(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					ls.Add(i, j, 1+rng.Intn(3))
+				}
+			}
+		}
+		var ds []Demand
+		for i := 0; i < 10; i++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s == d {
+				continue
+			}
+			ds = append(ds, Demand{ID: i, Src: s, Dst: d, RateGbps: rng.Float64() * 40})
+		}
+		theta := 10.0
+		res := Greedy(ls, theta, ds)
+		// Sum per-link usage and compare against capacity.
+		use := map[[2]int]float64{}
+		alloced := map[int]float64{}
+		for id, prs := range res.Alloc {
+			for _, pr := range prs {
+				if pr.Rate < -1e-9 {
+					return false
+				}
+				alloced[id] += pr.Rate
+				// Path endpoints must match the demand.
+				for i := 0; i+1 < len(pr.Path); i++ {
+					use[key(pr.Path[i], pr.Path[i+1])] += pr.Rate
+				}
+			}
+		}
+		for k, u := range use {
+			if u > float64(ls.Get(k[0], k[1]))*theta+1e-6 {
+				return false
+			}
+		}
+		// No demand is over-served.
+		for _, d := range ds {
+			if alloced[d.ID] > d.RateGbps+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyPathsAreValid(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		ls := topology.NewLinkSet(n)
+		for i := 0; i < n-1; i++ {
+			ls.Add(i, i+1, 1+rng.Intn(2))
+		}
+		var ds []Demand
+		for i := 0; i < 6; i++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s == d {
+				continue
+			}
+			ds = append(ds, Demand{ID: i, Src: s, Dst: d, RateGbps: 5 + rng.Float64()*20})
+		}
+		res := Greedy(ls, 10, ds)
+		for _, d := range ds {
+			for _, pr := range res.Alloc[d.ID] {
+				if pr.Path[0] != d.Src || pr.Path[len(pr.Path)-1] != d.Dst {
+					return false
+				}
+				for i := 0; i+1 < len(pr.Path); i++ {
+					if ls.Get(pr.Path[i], pr.Path[i+1]) == 0 {
+						return false // path uses a nonexistent link
+					}
+				}
+				seen := map[int]bool{}
+				for _, v := range pr.Path {
+					if seen[v] {
+						return false // loop
+					}
+					seen[v] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyDisconnectedDemand(t *testing.T) {
+	ls := topology.NewLinkSet(4)
+	ls.Add(0, 1, 1)
+	res := Greedy(ls, 10, []Demand{{ID: 0, Src: 2, Dst: 3, RateGbps: 10}})
+	if res.Throughput != 0 || len(res.Alloc[0]) != 0 {
+		t.Errorf("disconnected demand should get nothing: %+v", res)
+	}
+}
+
+func TestGreedyEmptyInputs(t *testing.T) {
+	res := Greedy(square(), 10, nil)
+	if res.Throughput != 0 {
+		t.Error("no demands -> zero throughput")
+	}
+	res = Greedy(topology.NewLinkSet(3), 10, []Demand{{ID: 0, Src: 0, Dst: 1, RateGbps: 5}})
+	if res.Throughput != 0 {
+		t.Error("empty topology -> zero throughput")
+	}
+}
+
+func TestDemandsFromTransfers(t *testing.T) {
+	tr := transfer.NewTransfer(transfer.Request{ID: 7, Src: 1, Dst: 2, SizeGbits: 600})
+	ds := DemandsFromTransfers([]*transfer.Transfer{tr}, 300)
+	if len(ds) != 1 || ds[0].ID != 7 || ds[0].RateGbps != 2 {
+		t.Errorf("demands = %+v", ds)
+	}
+}
+
+func BenchmarkGreedyISP40(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := topology.ISP(40, 10, 1)
+	ls := topology.InitialTopology(net)
+	var ds []Demand
+	for i := 0; i < 200; i++ {
+		s, d := rng.Intn(40), rng.Intn(40)
+		if s == d {
+			continue
+		}
+		ds = append(ds, Demand{ID: i, Src: s, Dst: d, RateGbps: rng.Float64() * 30})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(ls, 10, ds)
+	}
+}

@@ -1,0 +1,184 @@
+// Package coflow implements the "group of transfers" extension the paper
+// sketches in §3.4: applications that fan data out to several destinations
+// care about the completion time of the *last* transfer in the group (the
+// coflow abstraction of Chowdhury et al.). The package provides group
+// bookkeeping, the group completion-time metric, and the
+// Smallest-Effective-Bottleneck-First (SEBF) ordering heuristic from Varys
+// that the paper suggests, adapted to WAN transfers: groups are ordered by
+// the time their most-constrained member would need on the current
+// topology, and every member of a group shares the group's priority.
+package coflow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+// Group is a set of transfers completing together.
+type Group struct {
+	ID        int
+	Transfers []*transfer.Transfer
+}
+
+// Remaining returns the total unsent gigabits of the group.
+func (g *Group) Remaining() float64 {
+	t := 0.0
+	for _, tr := range g.Transfers {
+		t += tr.Remaining
+	}
+	return t
+}
+
+// Done reports whether every member finished.
+func (g *Group) Done() bool {
+	for _, tr := range g.Transfers {
+		if !tr.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// CompletionTime returns the finish time of the last member (the coflow
+// completion time), or +Inf if unfinished.
+func (g *Group) CompletionTime() float64 {
+	m := 0.0
+	for _, tr := range g.Transfers {
+		if !tr.Done {
+			return math.Inf(1)
+		}
+		if tr.FinishTime > m {
+			m = tr.FinishTime
+		}
+	}
+	return m
+}
+
+// Set manages the group memberships of transfers.
+type Set struct {
+	groups  map[int]*Group
+	byXfer  map[int]int // transfer id -> group id
+	nextGID int
+}
+
+// NewSet returns an empty group set.
+func NewSet() *Set {
+	return &Set{groups: map[int]*Group{}, byXfer: map[int]int{}}
+}
+
+// AddGroup registers a new group and returns it.
+func (s *Set) AddGroup(ts ...*transfer.Transfer) (*Group, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("coflow: empty group")
+	}
+	g := &Group{ID: s.nextGID, Transfers: ts}
+	for _, tr := range ts {
+		if _, dup := s.byXfer[tr.ID]; dup {
+			return nil, fmt.Errorf("coflow: transfer %d already grouped", tr.ID)
+		}
+	}
+	for _, tr := range ts {
+		s.byXfer[tr.ID] = g.ID
+	}
+	s.groups[g.ID] = g
+	s.nextGID++
+	return g, nil
+}
+
+// GroupOf returns the group of a transfer, if any.
+func (s *Set) GroupOf(transferID int) (*Group, bool) {
+	gid, ok := s.byXfer[transferID]
+	if !ok {
+		return nil, false
+	}
+	return s.groups[gid], true
+}
+
+// Groups returns all groups sorted by id.
+func (s *Set) Groups() []*Group {
+	out := make([]*Group, 0, len(s.groups))
+	for _, g := range s.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EffectiveBottleneckSeconds estimates how long the group needs on the
+// given topology if each member could use the full min-cut-ish bandwidth
+// of its ingress/egress ports: for each member, remaining / min(port
+// capacity at src not shared, port capacity at dst). Aggregating per
+// endpoint captures contention among members of the same group (Varys'
+// "effective bottleneck").
+func (g *Group) EffectiveBottleneckSeconds(net *topology.Network, ls *topology.LinkSet) float64 {
+	// Gigabits leaving/entering each site for this group.
+	egress := map[int]float64{}
+	ingress := map[int]float64{}
+	for _, tr := range g.Transfers {
+		if tr.Done {
+			continue
+		}
+		egress[tr.Src] += tr.Remaining
+		ingress[tr.Dst] += tr.Remaining
+	}
+	worst := 0.0
+	for site, bits := range egress {
+		cap := float64(ls.Degree(site)) * net.ThetaGbps
+		if cap <= 0 {
+			return math.Inf(1)
+		}
+		if t := bits / cap; t > worst {
+			worst = t
+		}
+	}
+	for site, bits := range ingress {
+		cap := float64(ls.Degree(site)) * net.ThetaGbps
+		if cap <= 0 {
+			return math.Inf(1)
+		}
+		if t := bits / cap; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// OrderSEBF orders transfers so that members of the group with the
+// smallest effective bottleneck come first (then SJF within a group;
+// ungrouped transfers are treated as singleton groups). The result is the
+// ordering to feed to alloc.Greedy or core's energy function.
+func (s *Set) OrderSEBF(ts []*transfer.Transfer, net *topology.Network, ls *topology.LinkSet) {
+	bottleneck := map[int]float64{} // group id -> seconds
+	for gid, g := range s.groups {
+		bottleneck[gid] = g.EffectiveBottleneckSeconds(net, ls)
+	}
+	key := func(t *transfer.Transfer) (float64, float64) {
+		if gid, ok := s.byXfer[t.ID]; ok {
+			return bottleneck[gid], t.Remaining
+		}
+		// Singleton: its own service time on its best-case port capacity.
+		cap := float64(ls.Degree(t.Src)) * net.ThetaGbps
+		if c2 := float64(ls.Degree(t.Dst)) * net.ThetaGbps; c2 < cap {
+			cap = c2
+		}
+		if cap <= 0 {
+			return math.Inf(1), t.Remaining
+		}
+		return t.Remaining / cap, t.Remaining
+	}
+	sort.SliceStable(ts, func(i, j int) bool {
+		bi, ri := key(ts[i])
+		bj, rj := key(ts[j])
+		if bi != bj {
+			return bi < bj
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return ts[i].ID < ts[j].ID
+	})
+}

@@ -1,0 +1,149 @@
+package controlplane
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"owan/internal/core"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+// TestAgentEndToEnd runs the whole stack over loopback: controller +
+// two agents, a real byte stream rate-limited by the controller's
+// allocations.
+func TestAgentEndToEnd(t *testing.T) {
+	// Short 2 s slots: the wire time of a demand-capped stream equals the
+	// slot length, so this keeps the test fast.
+	net9 := topology.Internet2(8)
+	ctrl, err := NewController(core.Config{
+		Net: net9, Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
+	}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ctrl.Serve(clis)
+	t.Cleanup(ctrl.Close)
+	addr := clis.Addr().String()
+
+	mkLis := func() net.Listener {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lis
+	}
+	lis0, lis1 := mkLis(), mkLis()
+	peers := map[int]string{0: lis0.Addr().String(), 1: lis1.Addr().String()}
+
+	// 1 Gbit modelled as 50 kB so the demo transfers ~200 kB.
+	const scale = 50 << 10
+	a0, err := NewAgent(addr, 0, lis0, peers, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a0.Close()
+	a1, err := NewAgent(addr, 1, lis1, peers, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+
+	// 4 "Gbit" transfer from site 0 to site 1 = 200 kB on the wire.
+	id, err := a0.Transfer(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream is paused until the controller allocates a rate.
+	time.Sleep(30 * time.Millisecond)
+	if rec, ok := a1.Receipt(id); ok && rec.Bytes > 64<<10 {
+		t.Errorf("bytes flowed before any allocation: %d", rec.Bytes)
+	}
+
+	// Tick until the transfer's stream drains (controller thinks in
+	// 10 s slots; the data plane runs at its own pace).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctrl.Tick()
+		done := make(chan struct{})
+		go func() {
+			a0.WaitTransfer(id)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(300 * time.Millisecond):
+		}
+		sent, _ := transferSent(a0, id)
+		if sent == 4*scale {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never drained: sent %d of %d", sent, 4*scale)
+		}
+	}
+
+	// Receiver sees every byte.
+	recvDeadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, ok := a1.Receipt(id)
+		if ok && rec.Complete {
+			if rec.Bytes != 4*scale {
+				t.Fatalf("received %d, want %d", rec.Bytes, 4*scale)
+			}
+			break
+		}
+		if time.Now().After(recvDeadline) {
+			t.Fatal("receiver incomplete")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func transferSent(a *Agent, id int) (int64, error) {
+	a.mu.Lock()
+	s, ok := a.streams[id]
+	a.mu.Unlock()
+	if !ok {
+		return 0, nil
+	}
+	select {
+	case <-s.done:
+		return s.sent, s.err
+	default:
+		return 0, nil
+	}
+}
+
+func TestAgentUnknownPeer(t *testing.T) {
+	_, addr := newTestController(t, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(addr, 0, lis, map[int]string{}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Transfer(3, 10, 0); err == nil {
+		t.Error("transfer to unknown peer should fail")
+	}
+}
+
+func TestAgentRejectsBadScale(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	if _, err := NewAgent("127.0.0.1:1", 0, lis, nil, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}

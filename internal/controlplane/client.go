@@ -1,0 +1,123 @@
+package controlplane
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is the site agent: it submits transfer requests and receives rate
+// allocations, which a real deployment would translate into host rate
+// limits (the paper uses Linux Traffic Control).
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	acks    chan *Message
+	onRates func([]WireRate)
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to the controller and registers the client's site.
+func Dial(addr string, site int, onRates func([]WireRate)) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		acks:    make(chan *Message, 8),
+		onRates: onRates,
+		done:    make(chan struct{}),
+	}
+	if err := WriteMsg(conn, &Message{Type: MsgHello, Site: site}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		m, err := ReadMsg(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			close(c.acks)
+			return
+		}
+		switch m.Type {
+		case MsgRates:
+			if c.onRates != nil {
+				c.onRates(m.Rates)
+			}
+		case MsgSubmitAck, MsgError, MsgStatusReply:
+			c.acks <- m
+		}
+	}
+}
+
+// Submit sends a transfer request and waits for its id.
+func (c *Client) Submit(r WireRequest) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("controlplane: client closed")
+	}
+	err := WriteMsg(c.conn, &Message{Type: MsgSubmit, Request: &r})
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	m, ok := <-c.acks
+	if !ok {
+		return 0, fmt.Errorf("controlplane: connection lost: %v", c.readErr)
+	}
+	if m.Type == MsgError {
+		return 0, fmt.Errorf("controlplane: %s", m.Err)
+	}
+	return m.ID, nil
+}
+
+// Status queries controller status.
+func (c *Client) Status() (*WireStatus, error) {
+	c.mu.Lock()
+	err := WriteMsg(c.conn, &Message{Type: MsgStatus})
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	m, ok := <-c.acks
+	if !ok {
+		return nil, fmt.Errorf("controlplane: connection lost: %v", c.readErr)
+	}
+	if m.Type == MsgError {
+		return nil, fmt.Errorf("controlplane: %s", m.Err)
+	}
+	return m.Status, nil
+}
+
+// ReportFiberFailure notifies the controller of a failed fiber.
+func (c *Client) ReportFiberFailure(fiberID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return WriteMsg(c.conn, &Message{Type: MsgLinkFailure, FiberID: fiberID})
+}
+
+// Close terminates the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.conn.Close()
+	c.mu.Unlock()
+	<-c.done
+}

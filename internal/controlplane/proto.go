@@ -1,0 +1,122 @@
+// Package controlplane implements Owan's controller/client protocol
+// (Figure 4): clients submit bulk-transfer requests to the centralized
+// controller and receive rate allocations for each time slot; the
+// controller programs topology changes internally (via internal/core) and
+// handles failure notifications and controller failover (§3.4).
+//
+// The wire protocol is length-prefixed JSON over TCP: each frame is a
+// 4-byte big-endian length followed by a JSON-encoded Message. JSON keeps
+// the protocol debuggable with standard tools; the framing makes message
+// boundaries explicit.
+package controlplane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	// MsgHello registers a client and the site it fronts.
+	MsgHello MsgType = "hello"
+	// MsgSubmit carries a transfer request (src, dst, size, deadline).
+	MsgSubmit MsgType = "submit"
+	// MsgSubmitAck acknowledges a submission with its assigned id.
+	MsgSubmitAck MsgType = "submit-ack"
+	// MsgRates pushes the per-path rate allocation for the current slot to
+	// a client.
+	MsgRates MsgType = "rates"
+	// MsgLinkFailure reports a failed fiber.
+	MsgLinkFailure MsgType = "link-failure"
+	// MsgStatus requests controller status; MsgStatusReply answers.
+	MsgStatus      MsgType = "status"
+	MsgStatusReply MsgType = "status-reply"
+	// MsgError reports a request-level failure.
+	MsgError MsgType = "error"
+)
+
+// WireRequest is a transfer submission.
+type WireRequest struct {
+	Src       int     `json:"src"`
+	Dst       int     `json:"dst"`
+	SizeGbits float64 `json:"size_gbits"`
+	// DeadlineSlots is the number of slots after submission by which the
+	// transfer must finish; 0 means no deadline.
+	DeadlineSlots int `json:"deadline_slots,omitempty"`
+}
+
+// WireRate is one path allocation for a transfer.
+type WireRate struct {
+	TransferID int     `json:"transfer_id"`
+	Path       []int   `json:"path"`
+	RateGbps   float64 `json:"rate_gbps"`
+}
+
+// WireStatus summarizes controller state.
+type WireStatus struct {
+	Slot      int `json:"slot"`
+	Active    int `json:"active"`
+	Completed int `json:"completed"`
+	Circuits  int `json:"circuits"`
+}
+
+// Message is the protocol envelope. Exactly the fields relevant to Type
+// are populated.
+type Message struct {
+	Type    MsgType      `json:"type"`
+	Site    int          `json:"site,omitempty"`
+	Request *WireRequest `json:"request,omitempty"`
+	ID      int          `json:"id,omitempty"`
+	Rates   []WireRate   `json:"rates,omitempty"`
+	FiberID int          `json:"fiber_id,omitempty"`
+	Status  *WireStatus  `json:"status,omitempty"`
+	Err     string       `json:"err,omitempty"`
+}
+
+// maxFrame bounds a frame to keep a malformed or malicious peer from
+// forcing a huge allocation.
+const maxFrame = 1 << 20
+
+// WriteMsg writes one framed message.
+func WriteMsg(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("controlplane: marshal: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("controlplane: frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMsg reads one framed message.
+func ReadMsg(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("controlplane: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	m := new(Message)
+	if err := json.Unmarshal(body, m); err != nil {
+		return nil, fmt.Errorf("controlplane: unmarshal: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,446 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"owan/internal/core"
+	"owan/internal/optical"
+	"owan/internal/store"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+	"owan/internal/update"
+)
+
+// Controller is the centralized Owan controller: it accepts client
+// connections, collects transfer requests, computes the network state each
+// slot, and pushes rate allocations back to the clients that submitted the
+// transfers. All durable state (requests, progress) lives in a store.Store
+// so a replacement controller can take over (§3.4).
+type Controller struct {
+	Net         *topology.Network
+	SlotSeconds float64
+
+	mu        sync.Mutex
+	owan      *core.Owan
+	topo      *topology.LinkSet
+	transfers map[int]*transfer.Transfer
+	owners    map[int]*clientConn // transfer id -> submitting connection
+	nextID    int
+	slot      int
+	completed int
+	st        *store.Store
+	coreCfg   core.Config
+	// Cross-layer update scheduling (§3.3): the previous slot's realized
+	// state, and stats from the most recent consistent rollout.
+	opt        *optical.State
+	prevUpdate *update.State
+	lastPlan   UpdatePlanStats
+
+	lis     net.Listener
+	conns   map[*clientConn]bool
+	closing bool
+	wg      sync.WaitGroup
+}
+
+type clientConn struct {
+	c    net.Conn
+	site int
+	mu   sync.Mutex // serializes writes
+}
+
+func (cc *clientConn) send(m *Message) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return WriteMsg(cc.c, m)
+}
+
+// NewController builds a controller for the network. The store may come
+// from a previous (failed) controller instance, in which case outstanding
+// transfers are recovered from it.
+func NewController(cfg core.Config, slotSeconds float64, st *store.Store) (*Controller, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("controlplane: network required")
+	}
+	if st == nil {
+		st = store.New()
+	}
+	c := &Controller{
+		Net:         cfg.Net,
+		SlotSeconds: slotSeconds,
+		owan:        core.New(cfg),
+		topo:        topology.InitialTopology(cfg.Net),
+		transfers:   map[int]*transfer.Transfer{},
+		owners:      map[int]*clientConn{},
+		conns:       map[*clientConn]bool{},
+		st:          st,
+		coreCfg:     cfg,
+	}
+	c.opt = optical.NewState(cfg.Net)
+	if err := c.recover(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// UpdatePlanStats summarizes the consistent update computed for a slot
+// transition.
+type UpdatePlanStats struct {
+	Rounds  int
+	Ops     int
+	Seconds float64
+	Detours int
+	// Err is set when no consistent plan existed (the controller then
+	// falls back to a one-shot update, as real deployments must).
+	Err string
+}
+
+// LastUpdatePlan returns stats for the most recent slot transition.
+func (c *Controller) LastUpdatePlan() UpdatePlanStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastPlan
+}
+
+// toUpdateState converts a computed network state into the update module's
+// representation.
+func (c *Controller) toUpdateState(st *core.NetworkState) *update.State {
+	circuits := map[[2]int]int{}
+	fibers := map[[2]int][]int{}
+	for _, l := range st.Effective.Links() {
+		k := [2]int{l.U, l.V}
+		circuits[k] = l.Count
+		fibers[k] = append([]int(nil), c.opt.FiberPathIDs(l.U, l.V)...)
+	}
+	var routes []update.Route
+	for id, prs := range st.Alloc {
+		for _, pr := range prs {
+			routes = append(routes, update.Route{TransferID: id, Path: pr.Path, Rate: pr.Rate})
+		}
+	}
+	return &update.State{Circuits: circuits, CircuitFibers: fibers, Routes: routes}
+}
+
+// scheduleUpdate builds the consistent rollout from the previous slot's
+// state and records its stats.
+func (c *Controller) scheduleUpdate(next *update.State) {
+	defer func() { c.prevUpdate = next }()
+	if c.prevUpdate == nil {
+		return
+	}
+	used := map[int]int{}
+	for k, n := range c.prevUpdate.Circuits {
+		for _, fid := range c.prevUpdate.CircuitFibers[k] {
+			used[fid] += n
+		}
+	}
+	free := map[int]int{}
+	for _, fb := range c.Net.Fibers {
+		if f := fb.Wavelengths - used[fb.ID]; f > 0 {
+			free[fb.ID] = f
+		}
+	}
+	plan, err := update.BuildPlan(update.Config{Theta: c.Net.ThetaGbps, FiberFree: free}, c.prevUpdate, next)
+	if err != nil {
+		c.lastPlan = UpdatePlanStats{Err: err.Error()}
+		return
+	}
+	c.lastPlan = UpdatePlanStats{
+		Rounds:  len(plan.Rounds),
+		Ops:     plan.NumOps(),
+		Seconds: plan.Seconds(),
+		Detours: plan.ForcedDetours,
+	}
+}
+
+// persistedTransfer is the store representation of a transfer.
+type persistedTransfer struct {
+	Req       transfer.Request `json:"req"`
+	Remaining float64          `json:"remaining"`
+	Done      bool             `json:"done"`
+}
+
+func tKey(id int) string { return fmt.Sprintf("transfer/%08d", id) }
+
+func (c *Controller) persist(t *transfer.Transfer) {
+	b, err := json.Marshal(persistedTransfer{Req: t.Request, Remaining: t.Remaining, Done: t.Done})
+	if err != nil {
+		log.Printf("controlplane: persist transfer %d: %v", t.ID, err)
+		return
+	}
+	c.st.Put(tKey(t.ID), b)
+}
+
+// recover rebuilds in-memory transfer state from the store (controller
+// failover: "we spawn a new instance, which starts to compute and
+// reconfigure the network state at the next time slot").
+func (c *Controller) recover() error {
+	if b, ok := c.st.Get("meta/slot"); ok {
+		if err := json.Unmarshal(b, &c.slot); err != nil {
+			return err
+		}
+	}
+	for _, k := range c.st.Keys("transfer/") {
+		b, _ := c.st.Get(k)
+		var p persistedTransfer
+		if err := json.Unmarshal(b, &p); err != nil {
+			return fmt.Errorf("controlplane: corrupt transfer record %s: %w", k, err)
+		}
+		t := transfer.NewTransfer(p.Req)
+		t.Remaining = p.Remaining
+		t.Done = p.Done
+		c.transfers[t.ID] = t
+		if t.ID >= c.nextID {
+			c.nextID = t.ID + 1
+		}
+		if t.Done {
+			c.completed++
+		}
+	}
+	return nil
+}
+
+// Serve accepts connections on lis until Close. It returns after the
+// listener fails or is closed.
+func (c *Controller) Serve(lis net.Listener) {
+	c.mu.Lock()
+	c.lis = lis
+	c.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		cc := &clientConn{c: conn}
+		c.mu.Lock()
+		if c.closing {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[cc] = true
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(cc)
+		}()
+	}
+}
+
+// Addr returns the listener address (for tests).
+func (c *Controller) Addr() net.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lis == nil {
+		return nil
+	}
+	return c.lis.Addr()
+}
+
+// Close stops serving and closes all connections.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closing = true
+	if c.lis != nil {
+		c.lis.Close()
+	}
+	for cc := range c.conns {
+		cc.c.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+func (c *Controller) handle(cc *clientConn) {
+	defer func() {
+		cc.c.Close()
+		c.mu.Lock()
+		delete(c.conns, cc)
+		c.mu.Unlock()
+	}()
+	for {
+		m, err := ReadMsg(cc.c)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case MsgHello:
+			c.mu.Lock()
+			cc.site = m.Site
+			c.mu.Unlock()
+
+		case MsgSubmit:
+			if m.Request == nil {
+				cc.send(&Message{Type: MsgError, Err: "submit without request"})
+				continue
+			}
+			id, err := c.Submit(*m.Request, cc)
+			if err != nil {
+				cc.send(&Message{Type: MsgError, Err: err.Error()})
+				continue
+			}
+			cc.send(&Message{Type: MsgSubmitAck, ID: id})
+
+		case MsgLinkFailure:
+			if err := c.FailFiber(m.FiberID); err != nil {
+				cc.send(&Message{Type: MsgError, Err: err.Error()})
+			}
+
+		case MsgStatus:
+			c.mu.Lock()
+			st := &WireStatus{
+				Slot:      c.slot,
+				Active:    c.activeCountLocked(),
+				Completed: c.completed,
+				Circuits:  c.topo.TotalCircuits(),
+			}
+			c.mu.Unlock()
+			cc.send(&Message{Type: MsgStatusReply, Status: st})
+
+		default:
+			cc.send(&Message{Type: MsgError, Err: "unknown message type " + string(m.Type)})
+		}
+	}
+}
+
+func (c *Controller) activeCountLocked() int {
+	n := 0
+	for _, t := range c.transfers {
+		if !t.Done && t.Arrival <= c.slot {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit registers a transfer request and returns its id. A nil owner is
+// allowed for direct (in-process) submission.
+func (c *Controller) Submit(r WireRequest, owner *clientConn) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := transfer.Request{
+		ID:        c.nextID,
+		Src:       r.Src,
+		Dst:       r.Dst,
+		SizeGbits: r.SizeGbits,
+		Arrival:   c.slot,
+		Deadline:  transfer.NoDeadline,
+	}
+	if r.DeadlineSlots > 0 {
+		req.Deadline = c.slot + r.DeadlineSlots
+	}
+	if r.Src < 0 || r.Src >= c.Net.NumSites() || r.Dst < 0 || r.Dst >= c.Net.NumSites() {
+		return 0, fmt.Errorf("site out of range")
+	}
+	if err := req.Validate(); err != nil {
+		return 0, err
+	}
+	c.nextID++
+	t := transfer.NewTransfer(req)
+	c.transfers[req.ID] = t
+	if owner != nil {
+		c.owners[req.ID] = owner
+	}
+	c.persist(t)
+	return req.ID, nil
+}
+
+// FailFiber removes a fiber from the physical network and rebuilds the
+// optimizer so subsequent slots avoid it. The current topology is kept;
+// circuits that can no longer be provisioned simply lose capacity in the
+// next ProvisionTopology pass, and the annealing search routes around them.
+func (c *Controller) FailFiber(fiberID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := -1
+	for i, f := range c.Net.Fibers {
+		if f.ID == fiberID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("unknown fiber %d", fiberID)
+	}
+	clone := *c.Net
+	clone.Fibers = append(append([]topology.Fiber(nil), c.Net.Fibers[:idx]...), c.Net.Fibers[idx+1:]...)
+	cfg := c.coreCfg
+	cfg.Net = &clone
+	c.coreCfg = cfg
+	c.Net = &clone
+	c.owan = core.New(cfg)
+	c.opt = optical.NewState(&clone)
+	// Fiber ids changed meaning: drop the previous update state rather
+	// than diff across different physical networks.
+	c.prevUpdate = nil
+	return nil
+}
+
+// Tick advances one time slot: computes the network state for the live
+// transfers, pushes rate allocations to the submitting clients, and
+// advances fluid progress accounting. It returns the search stats.
+func (c *Controller) Tick() core.SearchStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var active []*transfer.Transfer
+	for _, t := range c.transfers {
+		if !t.Done && t.Arrival <= c.slot {
+			active = append(active, t)
+		}
+	}
+	transfer.Order(active, transfer.SJF, c.slot, 0) // deterministic order
+	st := c.owan.ComputeNetworkState(c.topo, active, c.slot, c.SlotSeconds)
+	c.topo = st.Topology
+	c.scheduleUpdate(c.toUpdateState(st))
+
+	// Push allocations to owners and advance accounting.
+	now := float64(c.slot) * c.SlotSeconds
+	perOwner := map[*clientConn][]WireRate{}
+	for _, t := range active {
+		t.Alloc = st.Alloc[t.ID]
+		for _, pr := range t.Alloc {
+			if o := c.owners[t.ID]; o != nil {
+				perOwner[o] = append(perOwner[o], WireRate{TransferID: t.ID, Path: pr.Path, RateGbps: pr.Rate})
+			}
+		}
+		sent := t.Advance(now, c.SlotSeconds, c.slot)
+		if t.Deadline != transfer.NoDeadline && c.slot <= t.Deadline {
+			t.DeliveredByDeadline += sent
+		}
+		t.Alloc = nil
+		if t.Done {
+			c.completed++
+		}
+		c.persist(t)
+	}
+	for o, rates := range perOwner {
+		o.send(&Message{Type: MsgRates, Rates: rates})
+	}
+	c.slot++
+	b, err := json.Marshal(c.slot)
+	if err == nil {
+		c.st.Put("meta/slot", b)
+	}
+	return st.Stats
+}
+
+// Slot returns the next slot index.
+func (c *Controller) Slot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slot
+}
+
+// Completed returns how many transfers have finished.
+func (c *Controller) Completed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.completed
+}
+
+// Store returns the controller's durable store (shared with replicas).
+func (c *Controller) Store() *store.Store { return c.st }

@@ -1,0 +1,44 @@
+package controlplane
+
+import (
+	"testing"
+)
+
+// TestTickProducesConsistentUpdatePlan checks that consecutive ticks yield
+// a scheduled cross-layer update (§3.3 integrated into the controller).
+func TestTickProducesConsistentUpdatePlan(t *testing.T) {
+	ctrl, addr := newTestController(t, nil)
+	cl, err := Dial(addr, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Several long transfers so demand persists across slots and the
+	// topology actually changes.
+	for i := 0; i < 6; i++ {
+		if _, err := cl.Submit(WireRequest{Src: i % 9, Dst: (i + 4) % 9, SizeGbits: 50000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctrl.Tick() // first tick: no previous state, no plan yet
+	if p := ctrl.LastUpdatePlan(); p.Rounds != 0 || p.Err != "" {
+		t.Errorf("first tick should not schedule an update: %+v", p)
+	}
+	sawPlan := false
+	for i := 0; i < 5; i++ {
+		ctrl.Tick()
+		p := ctrl.LastUpdatePlan()
+		if p.Err != "" {
+			t.Fatalf("tick %d: update plan failed: %s", i, p.Err)
+		}
+		if p.Ops > 0 {
+			sawPlan = true
+			if p.Rounds <= 0 || p.Seconds <= 0 {
+				t.Errorf("plan with ops but rounds=%d seconds=%v", p.Rounds, p.Seconds)
+			}
+		}
+	}
+	if !sawPlan {
+		t.Error("no tick produced a nonempty update plan despite topology churn")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"owan/internal/alloc"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+// GreedySeparate is the comparison algorithm of Figure 10(a): it optimizes
+// the optical layer and the network layer separately. First it builds a
+// network-layer topology purely from the pairwise traffic demand (assigning
+// circuits to the site pairs with the most unserved demand until ports run
+// out), then it runs the same routing/rate assignment as Owan on the
+// resulting topology. It neither searches jointly nor tries to stay close
+// to the current topology.
+func (o *Owan) GreedySeparate(active []*transfer.Transfer, slot int, slotSeconds float64) *NetworkState {
+	demands := o.demands(active, slot, slotSeconds)
+
+	n := o.cfg.Net.NumSites()
+	free := make([]int, n)
+	for i, s := range o.cfg.Net.Sites {
+		free[i] = s.RouterPorts
+	}
+	// Pairwise demanded rate.
+	want := map[[2]int]float64{}
+	for _, d := range demands {
+		k := canonPair(d.Src, d.Dst)
+		want[k] += d.RateGbps
+	}
+	ls := topology.NewLinkSet(n)
+	theta := o.cfg.Net.ThetaGbps
+	// Greedily add circuits to the pair with the largest unserved demand.
+	for {
+		var bestK [2]int
+		best := 0.0
+		for k, w := range want {
+			unserved := w - float64(ls.Get(k[0], k[1]))*theta
+			if unserved > best && free[k[0]] > 0 && free[k[1]] > 0 {
+				best = unserved
+				bestK = k
+			}
+		}
+		if best <= 0 {
+			break
+		}
+		ls.Add(bestK[0], bestK[1], 1)
+		free[bestK[0]]--
+		free[bestK[1]]--
+	}
+	// Spend leftover ports on the fiber map so stranded sites stay
+	// reachable (multi-hop traffic needs transit links).
+	for _, f := range o.cfg.Net.Fibers {
+		if free[f.A] > 0 && free[f.B] > 0 && ls.Get(f.A, f.B) == 0 {
+			ls.Add(f.A, f.B, 1)
+			free[f.A]--
+			free[f.B]--
+		}
+	}
+
+	plan := o.opt.ProvisionTopology(ls)
+	eff := plan.Effective(n)
+	res := alloc.Greedy(eff, theta, demands)
+	return &NetworkState{
+		Topology:  ls,
+		Plan:      plan,
+		Effective: eff,
+		Alloc:     res.Alloc,
+		Stats:     SearchStats{BestEnergy: res.Throughput},
+	}
+}
+
+func canonPair(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}

@@ -1,0 +1,361 @@
+// Package core implements the paper's primary contribution: Owan's joint
+// optimization of optical circuit setup, routing and rate allocation via a
+// simulated-annealing search over network-layer topologies (Algorithms 1–3).
+//
+// The annealing state is the network-layer topology (a multiset of
+// router-to-router circuits). Neighbors swap the endpoints of two circuits
+// (the minimal move preserving per-site port counts). The energy of a state
+// is the total throughput achievable after provisioning its circuits in the
+// optical layer and greedily assigning multi-path routes and rates to the
+// outstanding transfers. Warm-starting at the current topology both speeds
+// convergence and keeps reconfigurations incremental.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"owan/internal/alloc"
+	"owan/internal/optical"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+// Config tunes the Owan controller algorithms.
+type Config struct {
+	// Net is the physical network.
+	Net *topology.Network
+	// Policy orders transfers inside the energy function (SJF for
+	// completion time, EDF for deadlines).
+	Policy transfer.Policy
+	// StarveSlots is t̂: a transfer unserved for this many slots is
+	// promoted to the head of the order (0 disables).
+	StarveSlots int
+	// Alpha is the cooling rate (the paper uses a schedule equivalent to a
+	// few hundred iterations; 0.99 with EpsilonFrac 1e-3 gives ~690).
+	Alpha float64
+	// EpsilonFrac stops the search when the temperature falls below
+	// EpsilonFrac × the initial temperature.
+	EpsilonFrac float64
+	// MaxIterations caps annealing iterations regardless of temperature.
+	MaxIterations int
+	// TimeBudget, if positive, stops the search after this wall-clock
+	// duration (the knob of Figure 10d).
+	TimeBudget time.Duration
+	// InitTempFrac scales the initial temperature relative to the current
+	// throughput. Algorithm 1 uses the raw throughput (frac 1), but energy
+	// deltas of a 2-circuit move are a few percent of total throughput, so
+	// a fraction keeps more of the cooling schedule at useful temperatures.
+	InitTempFrac float64
+	// NeighborMoves is how many 2-circuit swaps one neighbor applies
+	// (ablation knob; 1 is the paper's minimal 4-link move).
+	NeighborMoves int
+	// MaxChurn bounds how far the search may wander from the slot's
+	// starting topology, in circuit adds+removes. This operationalizes the
+	// paper's "keep the changes to the network incremental" consideration
+	// (§3.2): without it, a long search drifts to high-throughput
+	// topologies whose wholesale reconfiguration costs more than the
+	// throughput gain. Negative disables the bound; 0 selects the default.
+	MaxChurn int
+	// Seed makes the probabilistic search reproducible.
+	Seed int64
+}
+
+// Defaults from the paper.
+const (
+	DefaultAlpha       = 0.99
+	DefaultEpsilonFrac = 1e-3
+	DefaultMaxIter     = 2000
+	DefaultStarveSlots = 3
+	DefaultInitTemp    = 0.02
+	DefaultMaxChurn    = 16
+)
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.EpsilonFrac == 0 {
+		c.EpsilonFrac = DefaultEpsilonFrac
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = DefaultMaxIter
+	}
+	if c.InitTempFrac == 0 {
+		c.InitTempFrac = DefaultInitTemp
+	}
+	if c.NeighborMoves == 0 {
+		c.NeighborMoves = 1
+	}
+	if c.MaxChurn == 0 {
+		c.MaxChurn = DefaultMaxChurn
+	}
+	return c
+}
+
+// SearchStats reports what one ComputeNetworkState invocation did.
+type SearchStats struct {
+	Iterations    int
+	Accepted      int
+	InitialEnergy float64
+	BestEnergy    float64
+	// Churn is the number of circuit adds+removes between the input and the
+	// returned topology.
+	Churn   int
+	Elapsed time.Duration
+}
+
+// NetworkState is the controller's output for one slot: the target
+// network-layer topology, its optical realization, and the per-transfer
+// allocation on the effective topology.
+type NetworkState struct {
+	Topology  *topology.LinkSet
+	Plan      *optical.TopologyPlan
+	Effective *topology.LinkSet
+	Alloc     map[int][]transfer.PathRate
+	Stats     SearchStats
+}
+
+// Owan is the controller core. It is not safe for concurrent use; the
+// controller invokes it once per time slot.
+type Owan struct {
+	cfg Config
+	opt *optical.State
+	rng *rand.Rand
+}
+
+// New creates a controller core for a network.
+func New(cfg Config) *Owan {
+	cfg = cfg.withDefaults()
+	return &Owan{
+		cfg: cfg,
+		opt: optical.NewState(cfg.Net),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// demands builds the ordered demand list for the energy function.
+func (o *Owan) demands(active []*transfer.Transfer, slot int, slotSeconds float64) []alloc.Demand {
+	ordered := append([]*transfer.Transfer(nil), active...)
+	transfer.Order(ordered, o.cfg.Policy, slot, o.cfg.StarveSlots)
+	return alloc.DemandsFromTransfers(ordered, slotSeconds)
+}
+
+// Energy computes the total throughput achievable on a candidate topology
+// (Algorithm 3): provision circuits for every link, then greedily assign
+// paths and rates to the ordered demands on the effective topology.
+func (o *Owan) Energy(s *topology.LinkSet, demands []alloc.Demand) float64 {
+	plan := o.opt.ProvisionTopology(s)
+	eff := plan.Effective(s.N)
+	return alloc.Throughput(eff, o.cfg.Net.ThetaGbps, demands)
+}
+
+// SetUnitRegenWeights forwards the regenerator-balancing ablation knob to
+// the optical layer.
+func (o *Owan) SetUnitRegenWeights(on bool) { o.opt.SetUnitRegenWeights(on) }
+
+// WithoutFiber returns a new controller core whose physical network lacks
+// the given fiber (failure handling, §3.4). The annealing seed is carried
+// over; topology state lives with the caller, so warm starts persist.
+func (o *Owan) WithoutFiber(fiberID int) *Owan {
+	idx := -1
+	for i, f := range o.cfg.Net.Fibers {
+		if f.ID == fiberID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return o
+	}
+	clone := *o.cfg.Net
+	clone.Fibers = append(append([]topology.Fiber(nil), o.cfg.Net.Fibers[:idx]...), o.cfg.Net.Fibers[idx+1:]...)
+	cfg := o.cfg
+	cfg.Net = &clone
+	return New(cfg)
+}
+
+// ComputeNeighbor generates a random neighbor state by applying
+// cfg.NeighborMoves elementary swaps (Algorithm 2): each swap picks two
+// circuits (u,v) and (p,q), removes one unit of capacity from each, and
+// adds (u,p) and (v,q). Per-site port usage is unchanged. nil is returned
+// if the topology has too few circuits to rewire.
+func (o *Owan) ComputeNeighbor(s *topology.LinkSet) *topology.LinkSet {
+	out := s
+	for m := 0; m < o.cfg.NeighborMoves; m++ {
+		n := o.swapOnce(out)
+		if n == nil {
+			if m > 0 {
+				return out
+			}
+			return nil
+		}
+		out = n
+	}
+	return out
+}
+
+// swapOnce applies one elementary 2-circuit swap.
+func (o *Owan) swapOnce(s *topology.LinkSet) *topology.LinkSet {
+	links := s.Links()
+	if len(links) == 0 || s.TotalCircuits() < 2 {
+		return nil
+	}
+	// Sample circuit instances weighted by multiplicity.
+	sample := func() (int, int) {
+		k := o.rng.Intn(s.TotalCircuits())
+		for _, l := range links {
+			if k < l.Count {
+				// Random orientation.
+				if o.rng.Intn(2) == 0 {
+					return l.U, l.V
+				}
+				return l.V, l.U
+			}
+			k -= l.Count
+		}
+		panic("unreachable")
+	}
+	for try := 0; try < 32; try++ {
+		u, v := sample()
+		p, q := sample()
+		// Moving capacity from (u,v)+(p,q) to (u,p)+(v,q).
+		if u == p || v == q {
+			continue
+		}
+		if u == v || p == q {
+			continue
+		}
+		// Reject a no-op (picking the same circuit twice when count==1 is
+		// fine to allow; the result still differs unless identical pairs).
+		n := s.Clone()
+		if n.Get(u, v) == 0 || n.Get(p, q) == 0 {
+			continue
+		}
+		// If (u,v) == (p,q) as a link, it must hold at least 2 circuits.
+		if canonEq(u, v, p, q) && n.Get(u, v) < 2 {
+			continue
+		}
+		n.Add(u, v, -1)
+		n.Add(p, q, -1)
+		n.Add(u, p, 1)
+		n.Add(v, q, 1)
+		return n
+	}
+	return nil
+}
+
+func canonEq(a, b, c, d int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	if c > d {
+		c, d = d, c
+	}
+	return a == c && b == d
+}
+
+// ComputeNetworkState runs the simulated-annealing search (Algorithm 1)
+// starting from the current topology and returns the best state found
+// together with the optical plan and the final allocation.
+func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer.Transfer, slot int, slotSeconds float64) *NetworkState {
+	start := time.Now()
+	demands := o.demands(active, slot, slotSeconds)
+
+	sCur := current.Clone()
+	eCur := o.Energy(sCur, demands)
+	sBest, eBest := sCur, eCur
+	stats := SearchStats{InitialEnergy: eCur}
+
+	T := eCur * o.cfg.InitTempFrac
+	if T <= 0 {
+		// No throughput achievable from the current state (e.g. no demands
+		// yet): fall back to a nominal temperature so the loop still
+		// explores a little when demands exist.
+		T = 1
+	}
+	epsilon := o.cfg.EpsilonFrac * T
+	deadline := time.Time{}
+	if o.cfg.TimeBudget > 0 {
+		deadline = start.Add(o.cfg.TimeBudget)
+	}
+
+	T0 := T
+	for iter := 0; iter < o.cfg.MaxIterations; iter++ {
+		if T <= epsilon {
+			if deadline.IsZero() {
+				break
+			}
+			// With a wall-clock budget, a quenched schedule reheats and
+			// keeps searching from the current state until time runs out
+			// (longer budgets monotonically improve the best state found,
+			// the behaviour Figure 10d measures).
+			T = T0
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		stats.Iterations++
+		sN := o.ComputeNeighbor(sCur)
+		if sN == nil {
+			break
+		}
+		if o.cfg.MaxChurn > 0 && current.Diff(sN) > o.cfg.MaxChurn {
+			// Outside the trust region around the slot's starting topology:
+			// reject without evaluating (the move would not be deployable
+			// as an incremental update), and keep cooling.
+			T *= o.cfg.Alpha
+			continue
+		}
+		eN := o.Energy(sN, demands)
+		if eN > eBest {
+			sBest, eBest = sN, eN
+		}
+		if accept(eCur, eN, T, o.rng) {
+			sCur, eCur = sN, eN
+			stats.Accepted++
+		}
+		T *= o.cfg.Alpha
+	}
+
+	plan := o.opt.ProvisionTopology(sBest)
+	eff := plan.Effective(sBest.N)
+	res := alloc.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
+	stats.BestEnergy = eBest
+	stats.Churn = current.Diff(sBest)
+	stats.Elapsed = time.Since(start)
+	return &NetworkState{
+		Topology:  sBest,
+		Plan:      plan,
+		Effective: eff,
+		Alloc:     res.Alloc,
+		Stats:     stats,
+	}
+}
+
+// Reallocate provisions a given topology and computes the allocation on
+// it without any search — used when the topology decision was already
+// made (e.g. an externally chosen incremental reconfiguration).
+func (o *Owan) Reallocate(topo *topology.LinkSet, active []*transfer.Transfer, slot int, slotSeconds float64) *NetworkState {
+	demands := o.demands(active, slot, slotSeconds)
+	plan := o.opt.ProvisionTopology(topo)
+	eff := plan.Effective(topo.N)
+	res := alloc.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
+	return &NetworkState{
+		Topology:  topo,
+		Plan:      plan,
+		Effective: eff,
+		Alloc:     res.Alloc,
+		Stats:     SearchStats{BestEnergy: res.Throughput, InitialEnergy: res.Throughput},
+	}
+}
+
+// accept implements the annealing acceptance probability: always accept
+// improvements; accept a worse neighbor with probability e^{(eN-eCur)/T}.
+func accept(eCur, eN, T float64, rng *rand.Rand) bool {
+	if eN >= eCur {
+		return true
+	}
+	return math.Exp((eN-eCur)/T) > rng.Float64()
+}

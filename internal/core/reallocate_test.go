@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"owan/internal/topology"
+)
+
+func TestReallocateNoSearch(t *testing.T) {
+	net := topology.Square()
+	o := newOwan(net, 3)
+	ts := mkTransfers([3]int{0, 1, 200}, [3]int{2, 3, 200})
+	planC := topology.NewLinkSet(4)
+	planC.Add(0, 1, 2)
+	planC.Add(2, 3, 2)
+	st := o.Reallocate(planC, ts, 0, 10)
+	if !st.Topology.Equal(planC) {
+		t.Error("Reallocate must not change the topology")
+	}
+	if st.Stats.Iterations != 0 {
+		t.Error("Reallocate must not search")
+	}
+	if st.Stats.BestEnergy != 40 {
+		t.Errorf("throughput = %v, want 40 on the Plan C topology", st.Stats.BestEnergy)
+	}
+	total := 0.0
+	for _, prs := range st.Alloc {
+		for _, pr := range prs {
+			total += pr.Rate
+		}
+	}
+	if total != 40 {
+		t.Errorf("allocated %v, want 40", total)
+	}
+}
+
+func TestReallocateRespectsOpticalLimits(t *testing.T) {
+	// Request more circuits than wavelengths allow: the effective topology
+	// shrinks and so does the allocation.
+	net := topology.Square() // 4 wavelengths per fiber, 2 ports per site
+	o := newOwan(net, 4)
+	ts := mkTransfers([3]int{0, 1, 10000})
+	huge := topology.NewLinkSet(4)
+	huge.Add(0, 1, 50) // far beyond both ports and wavelengths
+	st := o.Reallocate(huge, ts, 0, 10)
+	if eff := st.Effective.Get(0, 1); eff > 8 {
+		t.Errorf("effective circuits = %d, want <= 8 (wavelength limit)", eff)
+	}
+}

@@ -1,0 +1,124 @@
+// Package dataplane implements the host side of Owan's rate enforcement:
+// the paper's clients apply the controller's per-path rates with Linux
+// Traffic Control; here a token-bucket limiter throttles real TCP streams
+// between site agents. It exists so the control loop can be demonstrated
+// end to end — allocation messages in, actual bytes on the wire out.
+package dataplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter. The zero value is unusable; use
+// NewLimiter. Rate changes take effect immediately, which is what the
+// per-slot allocation updates need.
+type Limiter struct {
+	mu         sync.Mutex
+	bytesPerS  float64
+	burstBytes float64
+	tokens     float64
+	last       time.Time
+	now        func() time.Time
+}
+
+// NewLimiter creates a limiter with the given rate (bytes/second) and
+// burst capacity (bytes). A nil clock uses time.Now.
+func NewLimiter(bytesPerSecond, burstBytes float64, clock func() time.Time) (*Limiter, error) {
+	if bytesPerSecond <= 0 || burstBytes <= 0 {
+		return nil, fmt.Errorf("dataplane: rate and burst must be positive")
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Limiter{
+		bytesPerS:  bytesPerSecond,
+		burstBytes: burstBytes,
+		tokens:     burstBytes,
+		last:       clock(),
+		now:        clock,
+	}, nil
+}
+
+// SetRate updates the rate in bytes/second; nonpositive pauses the flow.
+func (l *Limiter) SetRate(bytesPerSecond float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refill()
+	l.bytesPerS = bytesPerSecond
+}
+
+// Rate returns the current rate in bytes/second.
+func (l *Limiter) Rate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesPerS
+}
+
+// refill accrues tokens since last; caller holds the lock.
+func (l *Limiter) refill() {
+	now := l.now()
+	dt := now.Sub(l.last).Seconds()
+	l.last = now
+	if l.bytesPerS > 0 && dt > 0 {
+		l.tokens += dt * l.bytesPerS
+		if l.tokens > l.burstBytes {
+			l.tokens = l.burstBytes
+		}
+	}
+}
+
+// reserve consumes n tokens, returning how long the caller must wait
+// before proceeding (0 if tokens were available). n may exceed the burst;
+// the wait then covers the deficit.
+func (l *Limiter) reserve(n float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refill()
+	l.tokens -= n
+	if l.tokens >= 0 {
+		return 0
+	}
+	if l.bytesPerS <= 0 {
+		return -1 // paused
+	}
+	return time.Duration(-l.tokens / l.bytesPerS * float64(time.Second))
+}
+
+// WaitN blocks until n bytes may be sent or the context is done. When the
+// limiter is paused (rate 0), it polls for a rate change.
+func (l *Limiter) WaitN(ctx context.Context, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	for {
+		d := l.reserve(float64(n))
+		if d == 0 {
+			return nil
+		}
+		if d < 0 {
+			// Paused: return the tokens and retry shortly.
+			l.mu.Lock()
+			l.tokens += float64(n)
+			l.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			// Give the tokens back so a future sender is not penalized.
+			l.mu.Lock()
+			l.tokens += float64(n)
+			l.mu.Unlock()
+			return ctx.Err()
+		case <-time.After(d):
+			return nil
+		}
+	}
+}

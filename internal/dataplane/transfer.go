@@ -1,0 +1,168 @@
+package dataplane
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The wire format between site agents is minimal: a 16-byte header with
+// the transfer id and total payload length, then the payload itself in
+// rate-limited chunks. Receivers count bytes per transfer id.
+
+// header is the stream preamble.
+type header struct {
+	TransferID uint64
+	Length     uint64
+}
+
+func writeHeader(w io.Writer, h header) error {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[0:8], h.TransferID)
+	binary.BigEndian.PutUint64(buf[8:16], h.Length)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHeader(r io.Reader) (header, error) {
+	var buf [16]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return header{}, err
+	}
+	return header{
+		TransferID: binary.BigEndian.Uint64(buf[0:8]),
+		Length:     binary.BigEndian.Uint64(buf[8:16]),
+	}, nil
+}
+
+// chunkBytes is the sender's write granularity. Small enough that rate
+// changes take effect quickly, large enough to keep syscall overhead low.
+const chunkBytes = 32 << 10
+
+// Send streams length dummy bytes for a transfer over conn at the rate
+// enforced by lim. It returns the bytes actually sent (all of them unless
+// the context was cancelled or the connection failed).
+func Send(ctx context.Context, conn net.Conn, transferID uint64, length int64, lim *Limiter) (int64, error) {
+	if length < 0 {
+		return 0, fmt.Errorf("dataplane: negative length")
+	}
+	if err := writeHeader(conn, header{TransferID: transferID, Length: uint64(length)}); err != nil {
+		return 0, err
+	}
+	payload := make([]byte, chunkBytes)
+	var sent int64
+	for sent < length {
+		n := int64(len(payload))
+		if rem := length - sent; rem < n {
+			n = rem
+		}
+		if err := lim.WaitN(ctx, int(n)); err != nil {
+			return sent, err
+		}
+		m, err := conn.Write(payload[:n])
+		sent += int64(m)
+		if err != nil {
+			return sent, err
+		}
+	}
+	return sent, nil
+}
+
+// Receipt reports one received transfer stream.
+type Receipt struct {
+	TransferID uint64
+	Bytes      int64
+	Complete   bool
+}
+
+// Receiver accepts transfer streams and tallies received bytes.
+type Receiver struct {
+	lis net.Listener
+
+	mu       sync.Mutex
+	received map[uint64]*Receipt
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewReceiver starts a receiver on the listener.
+func NewReceiver(lis net.Listener) *Receiver {
+	r := &Receiver{lis: lis, received: map[uint64]*Receipt{}}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r
+}
+
+func (r *Receiver) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.lis.Accept()
+		if err != nil {
+			return
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			r.handle(conn)
+		}()
+	}
+}
+
+func (r *Receiver) handle(conn net.Conn) {
+	h, err := readHeader(conn)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	rec, ok := r.received[h.TransferID]
+	if !ok {
+		rec = &Receipt{TransferID: h.TransferID}
+		r.received[h.TransferID] = rec
+	}
+	r.mu.Unlock()
+	buf := make([]byte, chunkBytes)
+	var got int64
+	for got < int64(h.Length) {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			got += int64(n)
+			r.mu.Lock()
+			rec.Bytes += int64(n)
+			r.mu.Unlock()
+		}
+		if err != nil {
+			break
+		}
+	}
+	r.mu.Lock()
+	rec.Complete = got >= int64(h.Length)
+	r.mu.Unlock()
+}
+
+// Receipt returns the receipt for a transfer id.
+func (r *Receiver) Receipt(transferID uint64) (Receipt, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.received[transferID]
+	if !ok {
+		return Receipt{}, false
+	}
+	return *rec, true
+}
+
+// Close stops accepting and waits for in-flight streams.
+func (r *Receiver) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.lis.Close()
+	r.wg.Wait()
+}

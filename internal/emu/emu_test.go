@@ -1,0 +1,125 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"owan/internal/metrics"
+	"owan/internal/sim"
+	"owan/internal/te"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+	"owan/internal/workload"
+)
+
+func baseSim(sched sim.Scheduler, reqs []transfer.Request) sim.Config {
+	net := topology.Internet2(8)
+	return sim.Config{
+		Net: net, Initial: topology.InitialTopology(net),
+		Scheduler: sched, Requests: reqs,
+		SlotSeconds: 300, MaxSlots: 300,
+	}
+}
+
+func TestEmuSingleTransfer(t *testing.T) {
+	reqs := []transfer.Request{{ID: 0, Src: 7, Dst: 8, SizeGbits: 3000, Deadline: transfer.NoDeadline}}
+	cfg := Config{Sim: baseSim(&sim.TEScheduler{Approach: te.MaxFlow{}, Theta: 10, SlotSeconds: 300}, reqs)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Transfers[0]
+	if !tr.Done {
+		t.Fatal("transfer incomplete")
+	}
+	// 3000 Gbit at up to 8 ports * 10 Gbps demand-capped 10 Gbps (3000/300)
+	// should finish within the first slot or two.
+	if tr.FinishTime > 600 {
+		t.Errorf("finish = %v, want <= 600", tr.FinishTime)
+	}
+}
+
+// TestValidationEmuVsSim reproduces the paper's §5.1 validation: the
+// flow-based simulator and the (emulated) testbed agree within 10% on the
+// performance metrics.
+func TestValidationEmuVsSim(t *testing.T) {
+	reqs, err := workload.Generate(workload.Config{
+		Sites: 9, MeanSizeGbits: 100 * workload.GB, TotalDemandGbits: 10 * workload.TB,
+		Load: 1, DurationSlots: 4, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSched := func() sim.Scheduler {
+		return &sim.TEScheduler{Approach: te.MaxFlow{}, Theta: 10, SlotSeconds: 300}
+	}
+	simRes, err := sim.Run(baseSim(mkSched(), reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emuRes, err := Run(Config{Sim: baseSim(mkSched(), reqs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAvg := metrics.Mean(metrics.CompletionTimes(simRes.Transfers, 300))
+	eAvg := metrics.Mean(metrics.CompletionTimes(emuRes.Transfers, 300))
+	if sAvg == 0 || eAvg == 0 {
+		t.Fatalf("degenerate run: sim %v emu %v", sAvg, eAvg)
+	}
+	if diff := math.Abs(sAvg-eAvg) / sAvg; diff > 0.10 {
+		t.Errorf("sim %v vs emu %v: divergence %.1f%% exceeds the 10%% validation bound", sAvg, eAvg, 100*diff)
+	}
+}
+
+func TestEmuRespectsLinkBudgets(t *testing.T) {
+	// Two transfers squeezed through one link: per-slot goodput can never
+	// exceed the link capacity.
+	net := topology.Square()
+	reqs := []transfer.Request{
+		{ID: 0, Src: 0, Dst: 1, SizeGbits: 500, Deadline: transfer.NoDeadline},
+		{ID: 1, Src: 0, Dst: 1, SizeGbits: 500, Deadline: transfer.NoDeadline},
+	}
+	cfg := Config{Sim: sim.Config{
+		Net: net, Initial: topology.InitialTopology(net),
+		Scheduler: &sim.TEScheduler{Approach: te.MaxFlow{}, Theta: 10, SlotSeconds: 10},
+		Requests:  reqs, SlotSeconds: 10, MaxSlots: 200,
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, thr := range res.SlotThroughput {
+		// Square max cut for 0->1 traffic: 20 Gbps.
+		if thr > 20+1e-6 {
+			t.Errorf("slot %d throughput %v exceeds capacity", i, thr)
+		}
+	}
+}
+
+func TestEmuChunkQuantization(t *testing.T) {
+	// A rate below one chunk per step still makes progress via credits.
+	net := topology.Square()
+	reqs := []transfer.Request{{ID: 0, Src: 0, Dst: 1, SizeGbits: 5, Deadline: transfer.NoDeadline}}
+	cfg := Config{
+		Sim: sim.Config{
+			Net: net, Initial: topology.InitialTopology(net),
+			Scheduler: &sim.TEScheduler{Approach: te.MaxFlow{}, Theta: 10, SlotSeconds: 10},
+			Requests:  reqs, SlotSeconds: 10, MaxSlots: 50,
+		},
+		StepsPerSlot: 1000, // 0.01 s steps; 0.5 Gbit chunks need 0.05 s at 10 Gbps
+		ChunkGbits:   0.5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Transfers[0].Done {
+		t.Error("small transfer never completed under quantization")
+	}
+}
+
+func TestEmuRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

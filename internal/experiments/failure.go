@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"owan/internal/figdata"
+	"owan/internal/sim"
+	"owan/internal/topology"
+)
+
+// FailureRecovery is an extension experiment beyond the paper's figures:
+// §3.4 argues that because Owan's search minimizes the amount of change,
+// it converges to a new feasible schedule with only incremental updates
+// after a failure. This experiment cuts two fibers mid-run on the
+// Internet2 topology and plots per-slot goodput for Owan versus SWAN
+// (whose operator can only re-derive the static topology on the surviving
+// fibers).
+func FailureRecovery(sc Scale) (*figdata.Figure, error) {
+	f := figdata.NewFigure("failure", "Goodput across a 2-fiber failure (Internet2)", "seconds", "Gbps")
+	net0, err := BuildTopology(Internet2, sc, 1)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := Workload(Internet2, net0, sc, 1.5, 0, 71)
+	if err != nil {
+		return nil, err
+	}
+	failSlot := sc.HorizonSlots / 2
+	// Fail SEAT-SALT (fiber 0) and LOSA-HOUS (fiber 3): the west coast
+	// keeps connectivity but loses capacity and must detour.
+	failures := map[int][]int{failSlot: {0, 3}}
+
+	for _, ap := range []string{"owan", "swan"} {
+		net, err := BuildTopology(Internet2, sc, 1)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := Scheduler(ap, net, sc, false, 3, 0)
+		if err != nil {
+			return nil, err
+		}
+		if ts, ok := sched.(*sim.TEScheduler); ok {
+			ts.Net = net // enable failure awareness for the baseline
+		}
+		res, err := sim.Run(sim.Config{
+			Net:             net,
+			Initial:         topology.InitialTopology(net),
+			Scheduler:       sched,
+			Requests:        reqs,
+			SlotSeconds:     SlotSeconds,
+			MaxSlots:        50 * sc.HorizonSlots,
+			ReconfigSeconds: 4,
+			FiberFailures:   failures,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Completed()) != len(res.Transfers) {
+			return nil, fmt.Errorf("experiments: %s did not drain after failure", ap)
+		}
+		for i, thr := range res.SlotThroughput {
+			if i >= sc.HorizonSlots+4 {
+				break // show the arrival window plus the recovery tail
+			}
+			f.Add(ap, float64(i)*SlotSeconds, thr)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFailureRecoveryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	sc := quick()
+	f, err := FailureRecovery(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both series exist, and Owan's post-failure goodput beats SWAN's.
+	failT := float64(sc.HorizonSlots/2) * SlotSeconds
+	var owan, swan float64
+	var n int
+	for _, x := range f.Xs() {
+		if x < failT {
+			continue
+		}
+		yo, ok1 := f.Get("owan", x)
+		ys, ok2 := f.Get("swan", x)
+		if !ok1 || !ok2 {
+			continue
+		}
+		owan += yo
+		swan += ys
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no post-failure samples")
+	}
+	if math.IsNaN(owan) || owan <= swan {
+		t.Errorf("post-failure goodput: owan %v <= swan %v", owan, swan)
+	}
+}

@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"owan/internal/core"
+	"owan/internal/emu"
+	"owan/internal/figdata"
+	"owan/internal/metrics"
+	"owan/internal/optical"
+	"owan/internal/sim"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+	"owan/internal/update"
+)
+
+// Loads is the traffic-load sweep of Figures 7 and 8.
+var Loads = []float64{0.5, 1.0, 1.5, 2.0}
+
+// DeadlineFactors is the σ sweep of Figure 9.
+var DeadlineFactors = []float64{5, 10, 20, 30, 40, 50}
+
+// fig7Baselines are the deadline-unconstrained comparison approaches.
+var fig7Baselines = []string{"maxflow", "maxminfract", "swan"}
+
+// fig9Approaches are the deadline-constrained approaches (Owan first).
+var fig9Approaches = []string{"owan", "maxflow", "maxminfract", "swan", "tempus", "amoeba"}
+
+// runStats aggregates one (approach, load/σ, topo) cell over seeds.
+type runStats struct {
+	avgCT, p95CT    float64
+	makespan        float64
+	binAvgCT        map[metrics.Bin]float64
+	cdf             []figdata.Series
+	deadline        metrics.DeadlineStats
+	binMetPct       map[metrics.Bin]float64
+	completionTimes []float64
+}
+
+// collect runs an approach over the configured seeds and averages.
+func collect(topo TopoKind, approach string, load, sigma float64, sc Scale) (*runStats, error) {
+	agg := &runStats{binAvgCT: map[metrics.Bin]float64{}, binMetPct: map[metrics.Bin]float64{}}
+	n := float64(sc.Seeds)
+	for seed := 0; seed < sc.Seeds; seed++ {
+		res, err := Run(RunSpec{
+			Topo: topo, Approach: approach, Load: load,
+			DeadlineFactor: sigma, Seed: int64(seed*997 + 13), Scale: sc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ct := metrics.CompletionTimes(res.Transfers, SlotSeconds)
+		agg.completionTimes = append(agg.completionTimes, ct...)
+		agg.avgCT += metrics.Mean(ct) / n
+		agg.p95CT += metrics.Percentile(ct, 95) / n
+		if !math.IsInf(res.MakespanSeconds, 1) {
+			agg.makespan += res.MakespanSeconds / n
+		}
+		bins := metrics.BinBySize(res.Transfers)
+		for _, b := range []metrics.Bin{metrics.Small, metrics.Middle, metrics.Large} {
+			agg.binAvgCT[b] += metrics.Mean(metrics.CompletionTimes(bins[b], SlotSeconds)) / n
+			if sigma > 0 {
+				agg.binMetPct[b] += metrics.Deadlines(bins[b], SlotSeconds).TransfersMetPct / n
+			}
+		}
+		if sigma > 0 {
+			d := metrics.Deadlines(res.Transfers, SlotSeconds)
+			agg.deadline.TransfersMetPct += d.TransfersMetPct / n
+			agg.deadline.BytesMetPct += d.BytesMetPct / n
+		}
+	}
+	return agg, nil
+}
+
+// Fig7 reproduces Figure 7 for one topology: (a) factor of improvement on
+// average and 95th-percentile completion time versus load, (b) per-size-bin
+// improvement at load 1, and (c) the completion-time CDF at load 1.
+func Fig7(topo TopoKind, sc Scale) ([]*figdata.Figure, error) {
+	sub := string(topo)
+	fa := figdata.NewFigure("fig7a-"+sub, "Improvement on completion time ("+sub+")", "load", "factor")
+	fb := figdata.NewFigure("fig7b-"+sub, "Improvement by size bin at load 1 ("+sub+")", "bin", "factor")
+	fc := figdata.NewFigure("fig7c-"+sub, "Completion time CDF at load 1 ("+sub+")", "seconds", "fraction")
+
+	for _, load := range Loads {
+		owan, err := collect(topo, "owan", load, 0, sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, base := range fig7Baselines {
+			st, err := collect(topo, base, load, 0, sc)
+			if err != nil {
+				return nil, err
+			}
+			fa.Add("vs-"+base+"-avg", load, metrics.FactorOfImprovement(owan.avgCT, st.avgCT))
+			fa.Add("vs-"+base+"-p95", load, metrics.FactorOfImprovement(owan.p95CT, st.p95CT))
+			if load == 1 {
+				for i, b := range []metrics.Bin{metrics.Small, metrics.Middle, metrics.Large} {
+					fb.Add("vs-"+base, float64(i), metrics.FactorOfImprovement(owan.binAvgCT[b], st.binAvgCT[b]))
+				}
+				addCDF(fc, base, st.completionTimes)
+			}
+		}
+		if load == 1 {
+			addCDF(fc, "owan", owan.completionTimes)
+		}
+	}
+	return []*figdata.Figure{fa, fb, fc}, nil
+}
+
+// addCDF downsamples a CDF to at most 30 points for readable tables.
+func addCDF(f *figdata.Figure, name string, xs []float64) {
+	cdf := metrics.CDF(xs)
+	if len(cdf) == 0 {
+		return
+	}
+	step := len(cdf)/30 + 1
+	for i := 0; i < len(cdf); i += step {
+		f.Add(name, cdf[i].X, cdf[i].F)
+	}
+	f.Add(name, cdf[len(cdf)-1].X, 1)
+}
+
+// Fig8 reproduces Figure 8: makespan improvement factor versus load.
+func Fig8(topo TopoKind, sc Scale) (*figdata.Figure, error) {
+	f := figdata.NewFigure("fig8-"+string(topo), "Improvement on makespan ("+string(topo)+")", "load", "factor")
+	for _, load := range Loads {
+		owan, err := collect(topo, "owan", load, 0, sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, base := range fig7Baselines {
+			st, err := collect(topo, base, load, 0, sc)
+			if err != nil {
+				return nil, err
+			}
+			f.Add("vs-"+base, load, metrics.FactorOfImprovement(owan.makespan, st.makespan))
+		}
+	}
+	return f, nil
+}
+
+// Fig9 reproduces Figure 9 for one topology: (a) % of transfers meeting
+// deadlines versus σ, (b) % of bytes finishing before deadlines versus σ,
+// and (c) the per-size-bin breakdown at σ=20.
+func Fig9(topo TopoKind, sc Scale) ([]*figdata.Figure, error) {
+	sub := string(topo)
+	fa := figdata.NewFigure("fig9a-"+sub, "% transfers meeting deadlines ("+sub+")", "sigma", "percent")
+	fb := figdata.NewFigure("fig9b-"+sub, "% bytes before deadlines ("+sub+")", "sigma", "percent")
+	fc := figdata.NewFigure("fig9c-"+sub, "% transfers meeting deadlines by bin at sigma=20 ("+sub+")", "bin", "percent")
+	for _, sigma := range DeadlineFactors {
+		for _, ap := range fig9Approaches {
+			st, err := collect(topo, ap, 1.0, sigma, sc)
+			if err != nil {
+				return nil, err
+			}
+			fa.Add(ap, sigma, st.deadline.TransfersMetPct)
+			fb.Add(ap, sigma, st.deadline.BytesMetPct)
+			if sigma == 20 {
+				for i, b := range []metrics.Bin{metrics.Small, metrics.Middle, metrics.Large} {
+					fc.Add(ap, float64(i), st.binMetPct[b])
+				}
+			}
+		}
+	}
+	return []*figdata.Figure{fa, fb, fc}, nil
+}
+
+// Fig10a reproduces Figure 10(a): total throughput over time under joint
+// (simulated annealing) versus separate (greedy) optimization on the
+// inter-DC topology.
+func Fig10a(sc Scale) (*figdata.Figure, error) {
+	f := figdata.NewFigure("fig10a", "Joint (SA) vs separate (greedy) optimization", "seconds", "Gbps")
+	for _, ap := range []string{"owan", "greedy-separate"} {
+		// Overload (λ=1.5) keeps a standing backlog, so per-slot goodput
+		// reflects achievable network throughput — the quantity the
+		// paper's Figure 10(a) plots — rather than the demand tail. Only
+		// the arrival window is shown for the same reason. The annealing
+		// gets a full-depth schedule: this microbenchmark measures search
+		// quality, not the per-slot time budget.
+		scA := sc
+		if scA.OwanIterations < 700 {
+			scA.OwanIterations = 700
+		}
+		res, err := Run(RunSpec{Topo: InterDC, Approach: ap, Load: 1.5, Seed: 17, Scale: scA})
+		if err != nil {
+			return nil, err
+		}
+		name := "simulated-annealing"
+		if ap != "owan" {
+			name = "greedy"
+		}
+		for i, thr := range res.SlotThroughput {
+			if i >= sc.HorizonSlots {
+				break
+			}
+			f.Add(name, float64(i)*SlotSeconds, thr)
+		}
+	}
+	return f, nil
+}
+
+// Fig10b reproduces Figure 10(b): throughput during a topology update with
+// the consistent cross-layer schedule versus a one-shot update. The states
+// come from two consecutive Owan slots on the inter-DC topology.
+func Fig10b(sc Scale) (*figdata.Figure, error) {
+	net, err := BuildTopology(InterDC, sc, 3)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := Workload(InterDC, net, sc, 1, 0, 31)
+	if err != nil {
+		return nil, err
+	}
+	o := core.New(core.Config{Net: net, Policy: transfer.SJF, MaxIterations: sc.OwanIterations, Seed: 5})
+	var ts []*transfer.Transfer
+	for _, r := range reqs {
+		if r.Arrival == 0 {
+			ts = append(ts, transfer.NewTransfer(r))
+		}
+	}
+	cur := topology.InitialTopology(net)
+	stA := o.ComputeNetworkState(cur, ts, 0, SlotSeconds)
+	// The paper's Figure 10(b) measures one testbed reconfiguration: a
+	// handful of circuits move while traffic keeps flowing. Apply a few
+	// annealing moves to stA's topology (the same elementary reconfigu-
+	// ration Owan performs incrementally) and reallocate, rather than
+	// running a full fresh search whose churn would swamp the comparison.
+	topoB := stA.Topology
+	for i := 0; i < 3; i++ {
+		if n := o.ComputeNeighbor(topoB); n != nil {
+			topoB = n
+		}
+	}
+	for i, t := range ts {
+		if i%2 == 0 {
+			t.Remaining *= 0.8
+		}
+	}
+	stB := o.Reallocate(topoB, ts, 1, SlotSeconds)
+
+	opt := optical.NewState(net)
+	toUpdateState := func(ns *core.NetworkState) *update.State {
+		circuits := map[[2]int]int{}
+		fibers := map[[2]int][]int{}
+		for _, l := range ns.Effective.Links() {
+			k := [2]int{l.U, l.V}
+			circuits[k] = l.Count
+			fibers[k] = append([]int(nil), opt.FiberPathIDs(l.U, l.V)...)
+		}
+		var routes []update.Route
+		for id, prs := range ns.Alloc {
+			for _, pr := range prs {
+				routes = append(routes, update.Route{TransferID: id, Path: pr.Path, Rate: pr.Rate})
+			}
+		}
+		return &update.State{Circuits: circuits, CircuitFibers: fibers, Routes: routes}
+	}
+	oldState, newState := toUpdateState(stA), toUpdateState(stB)
+
+	// Spare wavelengths per fiber: φ minus what the old state uses.
+	used := map[int]int{}
+	for k, n := range oldState.Circuits {
+		for _, fid := range oldState.CircuitFibers[k] {
+			used[fid] += n
+		}
+	}
+	free := map[int]int{}
+	for _, fb := range net.Fibers {
+		free[fb.ID] = fb.Wavelengths - used[fb.ID]
+		if free[fb.ID] < 0 {
+			free[fb.ID] = 0
+		}
+	}
+	plan, err := update.BuildPlan(update.Config{Theta: net.ThetaGbps, FiberFree: free}, oldState, newState)
+	if err != nil {
+		return nil, err
+	}
+	f := figdata.NewFigure("fig10b", "Throughput during update: consistent vs one-shot", "seconds", "Gbps")
+	for _, s := range plan.Timeline(oldState) {
+		f.Add("consistent", s.T, s.Throughput)
+	}
+	for _, s := range update.OneShotTimeline(oldState, newState) {
+		f.Add("one-shot", s.T, s.Throughput)
+	}
+	// With transport behaviour: the affected TCP flows time out during the
+	// dark window and recover through slow start (50 ms RTT).
+	tcpSamples, err := update.OneShotTCPTimeline(oldState, newState, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	step := len(tcpSamples)/24 + 1
+	for i := 0; i < len(tcpSamples); i += step {
+		f.Add("one-shot-tcp", tcpSamples[i].T, tcpSamples[i].Throughput)
+	}
+	return f, nil
+}
+
+// Fig10c reproduces Figure 10(c): the breakdown of gains. Average
+// completion time under rate-only, rate+routing, and full (topology)
+// control, normalized by the full-control value at load 0.5.
+func Fig10c(sc Scale) (*figdata.Figure, error) {
+	f := figdata.NewFigure("fig10c", "Breakdown of gains (inter-DC)", "load", "normalized avg completion time")
+	norm := 0.0
+	type cell struct {
+		name string
+		load float64
+		avg  float64
+	}
+	var cells []cell
+	for _, load := range Loads {
+		for _, ap := range []string{"rate-only", "rate-routing", "owan"} {
+			st, err := collect(InterDC, ap, load, 0, sc)
+			if err != nil {
+				return nil, err
+			}
+			label := map[string]string{"rate-only": "rate", "rate-routing": "+rout.", "owan": "+topo."}[ap]
+			cells = append(cells, cell{label, load, st.avgCT})
+			if ap == "owan" && load == Loads[0] {
+				norm = st.avgCT
+			}
+		}
+	}
+	if norm <= 0 {
+		return nil, fmt.Errorf("experiments: degenerate normalization")
+	}
+	for _, c := range cells {
+		f.Add(c.name, c.load, c.avg/norm)
+	}
+	return f, nil
+}
+
+// Fig10d reproduces Figure 10(d): average completion time versus the
+// simulated-annealing running-time budget.
+func Fig10d(sc Scale) (*figdata.Figure, error) {
+	f := figdata.NewFigure("fig10d", "Impact of SA running time (inter-DC)", "budget seconds", "avg completion seconds")
+	// The wall-clock budget must be the binding constraint, so lift the
+	// iteration cap for this experiment. A single seed is too noisy to
+	// expose the budget effect; average a few.
+	sc.OwanIterations = 1 << 20
+	const seeds = 3
+	for _, budget := range []time.Duration{
+		20 * time.Millisecond, 80 * time.Millisecond, 320 * time.Millisecond,
+		1280 * time.Millisecond, 5120 * time.Millisecond,
+	} {
+		sum := 0.0
+		for seed := int64(0); seed < seeds; seed++ {
+			res, err := Run(RunSpec{
+				Topo: InterDC, Approach: "owan", Load: 1, Seed: 23 + seed*101, Scale: sc,
+				OwanBudget: budget,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum += metrics.Mean(metrics.CompletionTimes(res.Transfers, SlotSeconds))
+		}
+		f.Add("owan", budget.Seconds(), sum/seeds)
+	}
+	return f, nil
+}
+
+// Validation reproduces the §5.1 check: flow-based simulation versus the
+// chunk-level emulated testbed on Internet2, reporting the divergence of
+// the average completion time (the paper reports <10%).
+func Validation(sc Scale) (*figdata.Figure, error) {
+	net, err := BuildTopology(Internet2, sc, 1)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := Workload(Internet2, net, sc, 1, 0, 41)
+	if err != nil {
+		return nil, err
+	}
+	mkSched := func() (sim.Scheduler, error) {
+		return Scheduler("maxflow", net, sc, false, 1, 0)
+	}
+	s1, err := mkSched()
+	if err != nil {
+		return nil, err
+	}
+	simRes, err := sim.Run(sim.Config{
+		Net: net, Initial: topology.InitialTopology(net), Scheduler: s1,
+		Requests: reqs, SlotSeconds: SlotSeconds, MaxSlots: 50 * sc.HorizonSlots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s2, err := mkSched()
+	if err != nil {
+		return nil, err
+	}
+	emuRes, err := emu.Run(emu.Config{Sim: sim.Config{
+		Net: net, Initial: topology.InitialTopology(net), Scheduler: s2,
+		Requests: reqs, SlotSeconds: SlotSeconds, MaxSlots: 50 * sc.HorizonSlots,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	f := figdata.NewFigure("validation", "Simulator vs emulated testbed", "metric", "seconds")
+	sAvg := metrics.Mean(metrics.CompletionTimes(simRes.Transfers, SlotSeconds))
+	eAvg := metrics.Mean(metrics.CompletionTimes(emuRes.Transfers, SlotSeconds))
+	f.Add("simulator", 0, sAvg)
+	f.Add("emulated-testbed", 0, eAvg)
+	if sAvg > 0 {
+		f.Add("divergence-pct", 0, 100*math.Abs(sAvg-eAvg)/sAvg)
+	}
+	return f, nil
+}

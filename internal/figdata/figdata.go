@@ -1,0 +1,131 @@
+// Package figdata renders experiment results as the rows and series the
+// paper's figures plot: one column of x values and one column per series,
+// in an aligned, gnuplot-friendly text format used by cmd/owan-bench and
+// EXPERIMENTS.md.
+package figdata
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	// Points maps x -> y. Using a map keeps adding sweep results simple;
+	// rendering sorts by x.
+	Points map[float64]float64
+}
+
+// Figure is one table/figure of the paper.
+type Figure struct {
+	ID     string // e.g. "fig7a"
+	Title  string
+	XLabel string
+	YLabel string
+	series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(id, title, xlabel, ylabel string) *Figure {
+	return &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add records one point of a named series.
+func (f *Figure) Add(series string, x, y float64) {
+	for _, s := range f.series {
+		if s.Name == series {
+			s.Points[x] = y
+			return
+		}
+	}
+	f.series = append(f.series, &Series{Name: series, Points: map[float64]float64{x: y}})
+}
+
+// SeriesNames returns the series in insertion order.
+func (f *Figure) SeriesNames() []string {
+	out := make([]string, len(f.series))
+	for i, s := range f.series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Get returns the y value of a series at x.
+func (f *Figure) Get(series string, x float64) (float64, bool) {
+	for _, s := range f.series {
+		if s.Name == series {
+			y, ok := s.Points[x]
+			return y, ok
+		}
+	}
+	return 0, false
+}
+
+// Xs returns the sorted union of x values across series.
+func (f *Figure) Xs() []float64 {
+	set := map[float64]bool{}
+	for _, s := range f.series {
+		for x := range s.Points {
+			set[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Render produces the aligned text table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# x = %s, y = %s\n", f.XLabel, f.YLabel)
+	cols := append([]string{f.XLabel}, f.SeriesNames()...)
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	for _, x := range f.Xs() {
+		row := []string{trimFloat(x)}
+		for _, s := range f.series {
+			if y, ok := s.Points[x]; ok {
+				row = append(row, trimFloat(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// trimFloat formats a float compactly (integers without decimals, other
+// values with up to three significant decimals).
+func trimFloat(x float64) string {
+	if math.IsInf(x, 1) {
+		return "inf"
+	}
+	if x == math.Trunc(x) && math.Abs(x) < 1e9 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", x), "0"), ".")
+}

@@ -1,0 +1,79 @@
+package figdata
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAddAndGet(t *testing.T) {
+	f := NewFigure("fig7a", "Improvement", "load", "factor")
+	f.Add("maxflow", 0.5, 2.1)
+	f.Add("maxflow", 1.0, 3.4)
+	f.Add("swan", 0.5, 2.5)
+	if y, ok := f.Get("maxflow", 1.0); !ok || y != 3.4 {
+		t.Errorf("get = %v %v", y, ok)
+	}
+	if _, ok := f.Get("nope", 1.0); ok {
+		t.Error("missing series found")
+	}
+	if names := f.SeriesNames(); len(names) != 2 || names[0] != "maxflow" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestAddOverwrites(t *testing.T) {
+	f := NewFigure("x", "t", "x", "y")
+	f.Add("s", 1, 10)
+	f.Add("s", 1, 20)
+	if y, _ := f.Get("s", 1); y != 20 {
+		t.Errorf("y = %v, want 20 (overwrite)", y)
+	}
+}
+
+func TestXsSorted(t *testing.T) {
+	f := NewFigure("x", "t", "x", "y")
+	f.Add("a", 2, 1)
+	f.Add("a", 0.5, 1)
+	f.Add("b", 1, 1)
+	xs := f.Xs()
+	if len(xs) != 3 || xs[0] != 0.5 || xs[2] != 2 {
+		t.Errorf("xs = %v", xs)
+	}
+}
+
+func TestRender(t *testing.T) {
+	f := NewFigure("fig8a", "Makespan", "load", "factor")
+	f.Add("maxflow", 0.5, 1.25)
+	f.Add("maxflow", 1, 2)
+	f.Add("swan", 1, 1.5)
+	out := f.Render()
+	if !strings.Contains(out, "# fig8a: Makespan") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "maxflow") || !strings.Contains(out, "swan") {
+		t.Errorf("missing series:\n%s", out)
+	}
+	// The missing swan@0.5 point renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing placeholder:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+1+2 { // 2 comments, header, 2 data rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {1.5, "1.5"}, {1.25, "1.25"}, {1.3333333, "1.333"},
+		{math.Inf(1), "inf"}, {0, "0"},
+	} {
+		if got := trimFloat(tc.in); got != tc.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

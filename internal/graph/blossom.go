@@ -1,0 +1,132 @@
+package graph
+
+// MaxMatching computes a maximum-cardinality matching in a general
+// (non-bipartite) undirected graph using Edmonds' blossom algorithm in
+// O(V^3). The input is an adjacency list adj where adj[v] lists the
+// neighbors of v (parallel entries and self loops are tolerated; self loops
+// are ignored). It returns match, where match[v] is the vertex matched to v
+// or -1 if v is unmatched.
+//
+// The Owan controller uses maximum matching when pairing spare router ports
+// during topology synthesis (§4.2 of the paper implements the blossom
+// algorithm for this purpose).
+func MaxMatching(n int, adj [][]int) []int {
+	match := make([]int, n)
+	parent := make([]int, n)
+	base := make([]int, n)
+	q := make([]int, 0, n)
+	used := make([]bool, n)
+	blossom := make([]bool, n)
+	for i := range match {
+		match[i] = -1
+	}
+
+	lca := func(a, b int) int {
+		usedPath := make([]bool, n)
+		for {
+			a = base[a]
+			usedPath[a] = true
+			if match[a] == -1 {
+				break
+			}
+			a = parent[match[a]]
+		}
+		for {
+			b = base[b]
+			if usedPath[b] {
+				return b
+			}
+			b = parent[match[b]]
+		}
+	}
+
+	markPath := func(v, b, child int) {
+		for base[v] != b {
+			blossom[base[v]] = true
+			blossom[base[match[v]]] = true
+			parent[v] = child
+			child = match[v]
+			v = parent[match[v]]
+		}
+	}
+
+	findPath := func(root int) int {
+		for i := range used {
+			used[i] = false
+			parent[i] = -1
+			base[i] = i
+		}
+		used[root] = true
+		q = q[:0]
+		q = append(q, root)
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			for _, to := range adj[v] {
+				if to == v {
+					continue
+				}
+				if base[v] == base[to] || match[v] == to {
+					continue
+				}
+				if to == root || (match[to] != -1 && parent[match[to]] != -1) {
+					// Found a blossom: contract it.
+					curBase := lca(v, to)
+					for i := range blossom {
+						blossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := 0; i < n; i++ {
+						if blossom[base[i]] {
+							base[i] = curBase
+							if !used[i] {
+								used[i] = true
+								q = append(q, i)
+							}
+						}
+					}
+				} else if parent[to] == -1 {
+					parent[to] = v
+					if match[to] == -1 {
+						return to // augmenting path found
+					}
+					used[match[to]] = true
+					q = append(q, match[to])
+				}
+			}
+		}
+		return -1
+	}
+
+	for v := 0; v < n; v++ {
+		if match[v] != -1 {
+			continue
+		}
+		u := findPath(v)
+		if u == -1 {
+			continue
+		}
+		// Augment along the path ending at u.
+		for u != -1 {
+			pv := parent[u]
+			ppv := match[pv]
+			match[u] = pv
+			match[pv] = u
+			u = ppv
+		}
+	}
+	return match
+}
+
+// MatchingSize returns the number of matched pairs in a match slice as
+// produced by MaxMatching.
+func MatchingSize(match []int) int {
+	c := 0
+	for v, m := range match {
+		if m > v {
+			c++
+		}
+	}
+	return c
+}

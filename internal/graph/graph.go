@@ -1,0 +1,350 @@
+// Package graph provides the graph substrate used throughout Owan: weighted
+// multigraphs, shortest paths (plain and node-weighted), Yen's k-shortest
+// paths, max-flow, connectivity helpers, and a Blossom maximum-matching
+// implementation for general graphs.
+//
+// Vertices are dense integer ids in [0, N). Edges are directed internally;
+// undirected graphs insert both arcs. Multi-edges are supported because the
+// network layer of a WAN routinely has parallel links (several circuits
+// between the same router pair).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is a directed arc with a weight (distance, cost) and an application
+// payload id (for example, the index of the link it represents).
+type Edge struct {
+	From, To int
+	Weight   float64
+	ID       int
+}
+
+// Graph is a directed weighted multigraph over vertices [0, N).
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts a directed arc.
+func (g *Graph) AddEdge(from, to int, w float64, id int) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", from, to, g.n))
+	}
+	g.adj[from] = append(g.adj[from], Edge{From: from, To: to, Weight: w, ID: id})
+}
+
+// AddUndirected inserts both arcs of an undirected edge.
+func (g *Graph) AddUndirected(u, v int, w float64, id int) {
+	g.AddEdge(u, v, w, id)
+	g.AddEdge(v, u, w, id)
+}
+
+// Out returns the out-arcs of v. The returned slice must not be mutated.
+func (g *Graph) Out(v int) []Edge { return g.adj[v] }
+
+// EdgeCount returns the total number of directed arcs.
+func (g *Graph) EdgeCount() int {
+	c := 0
+	for _, a := range g.adj {
+		c += len(a)
+	}
+	return c
+}
+
+// Path is a sequence of edges from a source to a destination.
+type Path struct {
+	Edges  []Edge
+	Weight float64
+}
+
+// Vertices returns the vertex sequence of the path, starting at the source.
+// A nil path returns nil; an empty path (src==dst) returns nil as well
+// because the source is unknown.
+func (p *Path) Vertices() []int {
+	if p == nil || len(p.Edges) == 0 {
+		return nil
+	}
+	vs := make([]int, 0, len(p.Edges)+1)
+	vs = append(vs, p.Edges[0].From)
+	for _, e := range p.Edges {
+		vs = append(vs, e.To)
+	}
+	return vs
+}
+
+// Len returns the hop count.
+func (p *Path) Len() int { return len(p.Edges) }
+
+// item is a binary-heap entry for Dijkstra.
+type item struct {
+	v    int
+	dist float64
+}
+
+type heap []item
+
+func (h *heap) push(it item) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *heap) pop() item {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l].dist < old[small].dist {
+			small = l
+		}
+		if r < n && old[r].dist < old[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// ShortestPath runs Dijkstra from src to dst using edge weights. It returns
+// nil if dst is unreachable. Ties are broken by insertion order, which keeps
+// results deterministic for a deterministically built graph.
+func (g *Graph) ShortestPath(src, dst int) *Path {
+	dist := make([]float64, g.n)
+	prev := make([]Edge, g.n)
+	seen := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = Edge{From: -1}
+	}
+	dist[src] = 0
+	h := heap{}
+	h.push(item{src, 0})
+	for len(h) > 0 {
+		it := h.pop()
+		if seen[it.v] {
+			continue
+		}
+		seen[it.v] = true
+		if it.v == dst {
+			break
+		}
+		for _, e := range g.adj[it.v] {
+			if nd := dist[it.v] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = e
+				h.push(item{e.To, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	var edges []Edge
+	for v := dst; v != src; v = prev[v].From {
+		edges = append(edges, prev[v])
+	}
+	reverse(edges)
+	return &Path{Edges: edges, Weight: dist[dst]}
+}
+
+// ShortestDistances runs Dijkstra from src and returns the distance to every
+// vertex (Inf for unreachable vertices).
+func (g *Graph) ShortestDistances(src int) []float64 {
+	dist := make([]float64, g.n)
+	seen := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := heap{}
+	h.push(item{src, 0})
+	for len(h) > 0 {
+		it := h.pop()
+		if seen[it.v] {
+			continue
+		}
+		seen[it.v] = true
+		for _, e := range g.adj[it.v] {
+			if nd := dist[it.v] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.push(item{e.To, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// BFS returns hop distances from src (-1 for unreachable).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[v] {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[v] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether every vertex is reachable from vertex 0
+// (treating arcs as traversable in their stored direction; undirected
+// graphs store both arcs so this is full connectivity for them).
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	d := g.BFS(0)
+	for _, x := range d {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// nondecreasing weight order (Yen's algorithm).
+func (g *Graph) KShortestPaths(src, dst, k int) []*Path {
+	if k <= 0 {
+		return nil
+	}
+	first := g.ShortestPath(src, dst)
+	if first == nil {
+		return nil
+	}
+	result := []*Path{first}
+	var candidates []*Path
+	for len(result) < k {
+		prevPath := result[len(result)-1]
+		prevVerts := prevPath.Vertices()
+		for i := 0; i < len(prevPath.Edges); i++ {
+			spurNode := prevVerts[i]
+			rootEdges := prevPath.Edges[:i]
+			// Build a filtered graph: remove edges that would recreate an
+			// already-found path with the same root, and remove root vertices
+			// to keep paths loopless.
+			banned := make(map[[3]int]bool) // from,to,id
+			for _, p := range result {
+				if pathHasPrefix(p, rootEdges) && len(p.Edges) > i {
+					e := p.Edges[i]
+					banned[[3]int{e.From, e.To, e.ID}] = true
+				}
+			}
+			removedVerts := make(map[int]bool)
+			for _, v := range prevVerts[:i] {
+				removedVerts[v] = true
+			}
+			sub := New(g.n)
+			for v := 0; v < g.n; v++ {
+				if removedVerts[v] {
+					continue
+				}
+				for _, e := range g.adj[v] {
+					if removedVerts[e.To] || banned[[3]int{e.From, e.To, e.ID}] {
+						continue
+					}
+					sub.AddEdge(e.From, e.To, e.Weight, e.ID)
+				}
+			}
+			spur := sub.ShortestPath(spurNode, dst)
+			if spur == nil {
+				continue
+			}
+			var total []Edge
+			total = append(total, rootEdges...)
+			total = append(total, spur.Edges...)
+			w := spur.Weight
+			for _, e := range rootEdges {
+				w += e.Weight
+			}
+			cand := &Path{Edges: total, Weight: w}
+			if !containsPath(candidates, cand) && !containsPath(result, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool {
+			return candidates[a].Weight < candidates[b].Weight
+		})
+		result = append(result, candidates[0])
+		candidates = candidates[1:]
+	}
+	return result
+}
+
+func pathHasPrefix(p *Path, prefix []Edge) bool {
+	if len(p.Edges) < len(prefix) {
+		return false
+	}
+	for i, e := range prefix {
+		o := p.Edges[i]
+		if o.From != e.From || o.To != e.To || o.ID != e.ID {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []*Path, q *Path) bool {
+	for _, p := range ps {
+		if len(p.Edges) != len(q.Edges) {
+			continue
+		}
+		same := true
+		for i := range p.Edges {
+			if p.Edges[i] != q.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func reverse(e []Edge) {
+	for i, j := 0, len(e)-1; i < j; i, j = i+1, j-1 {
+		e[i], e[j] = e[j], e[i]
+	}
+}

@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ring(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddUndirected(i, (i+1)%n, 1, i)
+	}
+	return g
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := New(4)
+	g.AddUndirected(0, 1, 1, 0)
+	g.AddUndirected(1, 2, 2, 1)
+	g.AddUndirected(2, 3, 3, 2)
+	p := g.ShortestPath(0, 3)
+	if p == nil {
+		t.Fatal("no path found")
+	}
+	if p.Weight != 6 {
+		t.Errorf("weight = %v, want 6", p.Weight)
+	}
+	if got := p.Vertices(); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("vertices = %v", got)
+	}
+}
+
+func TestShortestPathPrefersLighter(t *testing.T) {
+	g := New(3)
+	g.AddUndirected(0, 2, 10, 0)
+	g.AddUndirected(0, 1, 1, 1)
+	g.AddUndirected(1, 2, 1, 2)
+	p := g.ShortestPath(0, 2)
+	if p.Weight != 2 {
+		t.Errorf("weight = %v, want 2 (via middle vertex)", p.Weight)
+	}
+	if p.Len() != 2 {
+		t.Errorf("len = %d, want 2", p.Len())
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddUndirected(0, 1, 1, 0)
+	if p := g.ShortestPath(0, 2); p != nil {
+		t.Errorf("expected nil path, got %v", p)
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := ring(5)
+	p := g.ShortestPath(2, 2)
+	if p == nil || p.Weight != 0 || p.Len() != 0 {
+		t.Errorf("self path = %+v, want empty zero-weight path", p)
+	}
+}
+
+func TestShortestDistancesRing(t *testing.T) {
+	g := ring(6)
+	d := g.ShortestDistances(0)
+	want := []float64{0, 1, 2, 3, 2, 1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("d[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestBFSAndConnected(t *testing.T) {
+	g := ring(5)
+	d := g.BFS(0)
+	if d[2] != 2 || d[4] != 1 {
+		t.Errorf("bfs = %v", d)
+	}
+	if !g.Connected() {
+		t.Error("ring should be connected")
+	}
+	g2 := New(4)
+	g2.AddUndirected(0, 1, 1, 0)
+	g2.AddUndirected(2, 3, 1, 1)
+	if g2.Connected() {
+		t.Error("disjoint pairs should not be connected")
+	}
+}
+
+func TestMultiEdgeShortest(t *testing.T) {
+	g := New(2)
+	g.AddUndirected(0, 1, 5, 0)
+	g.AddUndirected(0, 1, 2, 1)
+	p := g.ShortestPath(0, 1)
+	if p.Weight != 2 || p.Edges[0].ID != 1 {
+		t.Errorf("should take the lighter parallel edge, got %+v", p)
+	}
+}
+
+func TestKShortestPathsSquare(t *testing.T) {
+	// Square: 0-1-3 (len 2) and 0-2-3 (len 2) and direct 0-3 (len 3).
+	g := New(4)
+	g.AddUndirected(0, 1, 1, 0)
+	g.AddUndirected(1, 3, 1, 1)
+	g.AddUndirected(0, 2, 1, 2)
+	g.AddUndirected(2, 3, 1, 3)
+	g.AddUndirected(0, 3, 3, 4)
+	ps := g.KShortestPaths(0, 3, 3)
+	if len(ps) != 3 {
+		t.Fatalf("got %d paths, want 3", len(ps))
+	}
+	if ps[0].Weight != 2 || ps[1].Weight != 2 || ps[2].Weight != 3 {
+		t.Errorf("weights = %v %v %v, want 2 2 3", ps[0].Weight, ps[1].Weight, ps[2].Weight)
+	}
+	// Paths must be distinct and loopless.
+	seen := map[string]bool{}
+	for _, p := range ps {
+		vs := p.Vertices()
+		visited := map[int]bool{}
+		for _, v := range vs {
+			if visited[v] {
+				t.Errorf("path %v has a loop", vs)
+			}
+			visited[v] = true
+		}
+		key := ""
+		for _, v := range vs {
+			key += string(rune('a' + v))
+		}
+		if seen[key] {
+			t.Errorf("duplicate path %v", vs)
+		}
+		seen[key] = true
+	}
+}
+
+func TestKShortestFewerThanK(t *testing.T) {
+	g := New(3)
+	g.AddUndirected(0, 1, 1, 0)
+	g.AddUndirected(1, 2, 1, 1)
+	ps := g.KShortestPaths(0, 2, 5)
+	if len(ps) != 1 {
+		t.Errorf("got %d paths, want 1 (only one loopless path exists)", len(ps))
+	}
+}
+
+func TestKShortestOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(12)
+	id := 0
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if rng.Float64() < 0.4 {
+				g.AddUndirected(i, j, 1+rng.Float64()*9, id)
+				id++
+			}
+		}
+	}
+	ps := g.KShortestPaths(0, 11, 8)
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Weight < ps[i-1].Weight-1e-9 {
+			t.Errorf("paths out of order: %v then %v", ps[i-1].Weight, ps[i].Weight)
+		}
+	}
+}
+
+func TestMaxFlowSimple(t *testing.T) {
+	// Classic diamond: s=0, t=3.
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 10)
+	f.AddArc(0, 2, 10)
+	f.AddArc(1, 3, 10)
+	f.AddArc(2, 3, 10)
+	f.AddArc(1, 2, 1)
+	if got := f.MaxFlow(0, 3); math.Abs(got-20) > 1e-9 {
+		t.Errorf("maxflow = %v, want 20", got)
+	}
+}
+
+func TestMaxFlowBottleneck(t *testing.T) {
+	f := NewFlowNetwork(3)
+	f.AddArc(0, 1, 5)
+	f.AddArc(1, 2, 3)
+	if got := f.MaxFlow(0, 2); math.Abs(got-3) > 1e-9 {
+		t.Errorf("maxflow = %v, want 3", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 5)
+	f.AddArc(2, 3, 5)
+	if got := f.MaxFlow(0, 3); got != 0 {
+		t.Errorf("maxflow = %v, want 0", got)
+	}
+}
+
+func TestBlossomTriangle(t *testing.T) {
+	// Triangle: max matching = 1.
+	adj := [][]int{{1, 2}, {0, 2}, {0, 1}}
+	m := MaxMatching(3, adj)
+	if MatchingSize(m) != 1 {
+		t.Errorf("matching size = %d, want 1", MatchingSize(m))
+	}
+}
+
+func TestBlossomPentagonPlusEdge(t *testing.T) {
+	// 5-cycle with a pendant: odd cycle forces a blossom contraction.
+	// Vertices 0..4 form a cycle, 5 attached to 0. Max matching = 3? No:
+	// 6 vertices, 5-cycle 0-1-2-3-4-0 plus edge 0-5. Matching {1-2, 3-4, 0-5}
+	// has size 3.
+	adj := [][]int{
+		{1, 4, 5},
+		{0, 2},
+		{1, 3},
+		{2, 4},
+		{3, 0},
+		{0},
+	}
+	m := MaxMatching(6, adj)
+	if MatchingSize(m) != 3 {
+		t.Errorf("matching size = %d, want 3 (match=%v)", MatchingSize(m), m)
+	}
+}
+
+func TestBlossomPerfectOnEvenCycle(t *testing.T) {
+	n := 10
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = []int{(i + 1) % n, (i + n - 1) % n}
+	}
+	m := MaxMatching(n, adj)
+	if MatchingSize(m) != n/2 {
+		t.Errorf("matching size = %d, want %d", MatchingSize(m), n/2)
+	}
+}
+
+func TestBlossomConsistency(t *testing.T) {
+	// match must be a symmetric involution along edges of the graph.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		adjSet := make([]map[int]bool, n)
+		for i := range adjSet {
+			adjSet[i] = map[int]bool{}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					adjSet[i][j] = true
+					adjSet[j][i] = true
+				}
+			}
+		}
+		adj := make([][]int, n)
+		for i := range adj {
+			for j := range adjSet[i] {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		m := MaxMatching(n, adj)
+		for v, u := range m {
+			if u == -1 {
+				continue
+			}
+			if m[u] != v {
+				return false
+			}
+			if !adjSet[v][u] {
+				return false // matched along a non-edge
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlossomMaximality(t *testing.T) {
+	// Property: no augmenting edge remains between two unmatched vertices.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		adj := make([][]int, n)
+		type pair struct{ a, b int }
+		var edges []pair
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+					edges = append(edges, pair{i, j})
+				}
+			}
+		}
+		m := MaxMatching(n, adj)
+		for _, e := range edges {
+			if m[e.a] == -1 && m[e.b] == -1 {
+				return false // trivially augmentable: not even maximal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		id := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					g.AddUndirected(i, j, 1, id)
+					id++
+				}
+			}
+		}
+		d := g.ShortestDistances(0)
+		b := g.BFS(0)
+		for v := 0; v < n; v++ {
+			if b[v] < 0 {
+				if !math.IsInf(d[v], 1) {
+					return false
+				}
+				continue
+			}
+			if d[v] != float64(b[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathVerticesNilSafety(t *testing.T) {
+	var p *Path
+	if p.Vertices() != nil {
+		t.Error("nil path should have nil vertices")
+	}
+	empty := &Path{}
+	if empty.Vertices() != nil {
+		t.Error("empty path should have nil vertices")
+	}
+}

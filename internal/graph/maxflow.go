@@ -1,0 +1,96 @@
+package graph
+
+import "math"
+
+// FlowNetwork is a capacitated directed graph for max-flow computations.
+// It uses adjacency lists with residual arcs (Dinic's algorithm).
+type FlowNetwork struct {
+	n    int
+	head [][]int
+	arcs []flowArc
+}
+
+type flowArc struct {
+	to  int
+	cap float64
+}
+
+// NewFlowNetwork creates a flow network with n vertices.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{n: n, head: make([][]int, n)}
+}
+
+// AddArc adds a directed arc with the given capacity and returns its index.
+// A residual arc of capacity 0 is added automatically.
+func (f *FlowNetwork) AddArc(from, to int, capacity float64) int {
+	idx := len(f.arcs)
+	f.arcs = append(f.arcs, flowArc{to: to, cap: capacity})
+	f.arcs = append(f.arcs, flowArc{to: from, cap: 0})
+	f.head[from] = append(f.head[from], idx)
+	f.head[to] = append(f.head[to], idx^1)
+	return idx
+}
+
+// MaxFlow computes the maximum s-t flow value with Dinic's algorithm.
+// Capacities are real-valued; the epsilon guards against float drift.
+func (f *FlowNetwork) MaxFlow(s, t int) float64 {
+	const eps = 1e-9
+	total := 0.0
+	level := make([]int, f.n)
+	iter := make([]int, f.n)
+	for f.bfsLevel(s, t, level) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := f.dfsAugment(s, t, math.Inf(1), level, iter)
+			if pushed <= eps {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+func (f *FlowNetwork) bfsLevel(s, t int, level []int) bool {
+	const eps = 1e-9
+	for i := range level {
+		level[i] = -1
+	}
+	level[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ai := range f.head[v] {
+			a := f.arcs[ai]
+			if a.cap > eps && level[a.to] < 0 {
+				level[a.to] = level[v] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return level[t] >= 0
+}
+
+func (f *FlowNetwork) dfsAugment(v, t int, limit float64, level, iter []int) float64 {
+	const eps = 1e-9
+	if v == t {
+		return limit
+	}
+	for ; iter[v] < len(f.head[v]); iter[v]++ {
+		ai := f.head[v][iter[v]]
+		a := &f.arcs[ai]
+		if a.cap <= eps || level[a.to] != level[v]+1 {
+			continue
+		}
+		pushed := f.dfsAugment(a.to, t, math.Min(limit, a.cap), level, iter)
+		if pushed > eps {
+			a.cap -= pushed
+			f.arcs[ai^1].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}

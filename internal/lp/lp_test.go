@@ -1,0 +1,298 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMax(t *testing.T) {
+	// maximize 3x + 2y s.t. x+y <= 4, x+3y <= 6 -> x=4, y=0, obj=12.
+	p := NewProblem(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 3}, LE, 6)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(s.Objective, 12) {
+		t.Errorf("got %v obj=%v, want optimal 12 (x=%v)", s.Status, s.Objective, s.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// maximize x + y s.t. 2x+y <= 4, x+2y <= 4 -> x=y=4/3, obj=8/3.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint(map[int]float64{0: 2, 1: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 2}, LE, 4)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(s.Objective, 8.0/3) || !near(s.X[0], 4.0/3) || !near(s.X[1], 4.0/3) {
+		t.Errorf("obj=%v x=%v, want 8/3 at (4/3,4/3)", s.Objective, s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x s.t. x + y == 5, x <= 3 -> x=3, y=2.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 5)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(s.X[0], 3) || !near(s.X[1], 2) {
+		t.Errorf("got %v x=%v", s.Status, s.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// minimize x+y (== maximize -(x+y)) s.t. x+2y >= 4, 3x+y >= 6.
+	// Optimum at intersection: x=8/5, y=6/5, value 14/5.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 2}, GE, 4)
+	p.AddConstraint(map[int]float64{0: 3, 1: 1}, GE, 6)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(-s.Objective, 14.0/5) {
+		t.Errorf("got %v obj=%v x=%v, want -14/5", s.Status, s.Objective, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("got %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint(map[int]float64{1: 1}, LE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("got %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -1 with x,y>=0 means y >= x+1. Maximize x with y <= 3: x=2.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, LE, -1)
+	p.AddConstraint(map[int]float64{1: 1}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(s.X[0], 2) {
+		t.Errorf("got %v x=%v, want x=2", s.Status, s.X)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degenerate LP (Beale-like); Bland must terminate.
+	p := NewProblem(4)
+	p.SetObjective(0, 0.75)
+	p.SetObjective(1, -150)
+	p.SetObjective(2, 0.02)
+	p.SetObjective(3, -6)
+	p.AddConstraint(map[int]float64{0: 0.25, 1: -60, 2: -0.04, 3: 9}, LE, 0)
+	p.AddConstraint(map[int]float64{0: 0.5, 1: -90, 2: -0.02, 3: 3}, LE, 0)
+	p.AddConstraint(map[int]float64{2: 1}, LE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(s.Objective, 0.05) {
+		t.Errorf("got %v obj=%v, want 0.05", s.Status, s.Objective)
+	}
+}
+
+func TestZeroConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a purely negative objective and no constraints, optimum is 0.
+	if s.Status != Optimal || !near(s.Objective, 0) {
+		t.Errorf("got %v obj=%v", s.Status, s.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows leave a redundant artificial basic at zero.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 4)
+	p.AddConstraint(map[int]float64{0: 2, 1: 2}, EQ, 8)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(s.X[0], 3) || !near(s.X[1], 1) {
+		t.Errorf("got %v x=%v", s.Status, s.X)
+	}
+}
+
+// TestMaxFlowEquivalence checks the LP against a known max-flow value on a
+// diamond network, the same formulation the TE baselines use.
+func TestMaxFlowEquivalence(t *testing.T) {
+	// Variables: f0 = flow on path s-a-t, f1 = s-b-t, f2 = s-a-b-t.
+	// Caps: sa=10, sb=10, at=10, bt=10, ab=1. Max total = 20 (f2 unused
+	// beyond nothing; f0=10, f1=10).
+	p := NewProblem(3)
+	for i := 0; i < 3; i++ {
+		p.SetObjective(i, 1)
+	}
+	p.AddConstraint(map[int]float64{0: 1, 2: 1}, LE, 10) // sa
+	p.AddConstraint(map[int]float64{1: 1}, LE, 10)       // sb
+	p.AddConstraint(map[int]float64{0: 1}, LE, 10)       // at
+	p.AddConstraint(map[int]float64{1: 1, 2: 1}, LE, 10) // bt
+	p.AddConstraint(map[int]float64{2: 1}, LE, 1)        // ab
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(s.Objective, 20) {
+		t.Errorf("obj=%v, want 20", s.Objective)
+	}
+}
+
+// Property: solutions are always primal feasible and never exceed an easy
+// upper bound (sum of per-variable caps weighted by objective).
+func TestRandomFeasibility(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, rng.Float64()*10-2)
+			// Box every variable so the LP is bounded.
+			p.AddConstraint(map[int]float64{j: 1}, LE, 1+rng.Float64()*9)
+		}
+		type row struct {
+			coeffs map[int]float64
+			sense  Sense
+			rhs    float64
+		}
+		var rows []row
+		for i := 0; i < m; i++ {
+			coeffs := map[int]float64{}
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					coeffs[j] = rng.Float64() * 4
+				}
+			}
+			if len(coeffs) == 0 {
+				continue
+			}
+			rhs := rng.Float64() * 20
+			p.AddConstraint(coeffs, LE, rhs)
+			rows = append(rows, row{coeffs, LE, rhs})
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			// All-LE with nonnegative RHS is always feasible (x=0).
+			return false
+		}
+		for _, r := range rows {
+			lhs := 0.0
+			for j, c := range r.coeffs {
+				lhs += c * s.X[j]
+			}
+			if lhs > r.rhs+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reported objective matches c·x and is at least as good as
+// the zero vector (feasible for all-LE nonnegative-RHS problems).
+func TestObjectiveConsistency(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, rng.Float64()*6-3)
+			p.AddConstraint(map[int]float64{j: 1}, LE, rng.Float64()*5)
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		dot := 0.0
+		for j := 0; j < n; j++ {
+			dot += s.X[j] * p.objective[j]
+		}
+		return near(dot, s.Objective) && s.Objective >= -1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 200, 80
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObjective(j, 1)
+	}
+	for i := 0; i < m; i++ {
+		coeffs := map[int]float64{}
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.1 {
+				coeffs[j] = 1
+			}
+		}
+		p.AddConstraint(coeffs, LE, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package metrics computes the evaluation quantities the paper reports:
+// transfer completion times (average, 95th percentile, CDF), size-bin
+// breakdowns, factors of improvement, deadline-met percentages, bytes
+// finished before deadlines, and makespan.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"owan/internal/transfer"
+)
+
+// CompletionTimes returns the completion durations (finish − arrival, in
+// seconds) of all completed transfers. Incomplete transfers are excluded;
+// callers comparing approaches should run simulations long enough that all
+// transfers finish.
+func CompletionTimes(ts []*transfer.Transfer, slotSeconds float64) []float64 {
+	var out []float64
+	for _, t := range ts {
+		if t.Done {
+			out = append(out, t.FinishTime-float64(t.Arrival)*slotSeconds)
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// copy of the data.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	rank := int(math.Ceil(p / 100 * float64(len(c))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(c) {
+		rank = len(c)
+	}
+	return c[rank-1]
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // cumulative fraction <= X
+}
+
+// CDF returns the empirical CDF of the data.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	out := make([]CDFPoint, len(c))
+	for i, x := range c {
+		out[i] = CDFPoint{X: x, F: float64(i+1) / float64(len(c))}
+	}
+	return out
+}
+
+// Bin labels transfers by size tercile (the paper's small/middle/large
+// bins).
+type Bin int
+
+// Size bins.
+const (
+	Small Bin = iota
+	Middle
+	Large
+)
+
+func (b Bin) String() string {
+	switch b {
+	case Small:
+		return "small"
+	case Middle:
+		return "middle"
+	case Large:
+		return "large"
+	}
+	return "?"
+}
+
+// BinBySize splits transfers into size terciles: the smallest third, the
+// middle third, and the largest third, by original transfer size.
+func BinBySize(ts []*transfer.Transfer) map[Bin][]*transfer.Transfer {
+	c := append([]*transfer.Transfer(nil), ts...)
+	sort.SliceStable(c, func(i, j int) bool {
+		if c[i].SizeGbits != c[j].SizeGbits {
+			return c[i].SizeGbits < c[j].SizeGbits
+		}
+		return c[i].ID < c[j].ID
+	})
+	out := map[Bin][]*transfer.Transfer{}
+	n := len(c)
+	for i, t := range c {
+		switch {
+		case i < n/3:
+			out[Small] = append(out[Small], t)
+		case i < 2*n/3:
+			out[Middle] = append(out[Middle], t)
+		default:
+			out[Large] = append(out[Large], t)
+		}
+	}
+	return out
+}
+
+// FactorOfImprovement is other / owan for a "lower is better" metric
+// (e.g. completion time): values above 1 mean Owan is better.
+func FactorOfImprovement(owan, other float64) float64 {
+	if owan <= 0 {
+		return math.Inf(1)
+	}
+	return other / owan
+}
+
+// DeadlineStats summarizes deadline-constrained runs.
+type DeadlineStats struct {
+	// TransfersMetPct is the percentage of deadline transfers completed by
+	// their deadline.
+	TransfersMetPct float64
+	// BytesMetPct is the percentage of deadline bytes delivered by their
+	// transfer's deadline (a transfer's bytes count proportionally to how
+	// much of it was delivered in time).
+	BytesMetPct float64
+}
+
+// Deadlines computes deadline statistics over transfers that have
+// deadlines. The bytes metric uses Transfer.DeliveredByDeadline, which the
+// simulator maintains exactly (bits sent during slots up to and including
+// the deadline slot).
+func Deadlines(ts []*transfer.Transfer, slotSeconds float64) DeadlineStats {
+	var total, met int
+	var totalBits, metBits float64
+	for _, t := range ts {
+		if t.Deadline == transfer.NoDeadline {
+			continue
+		}
+		total++
+		totalBits += t.SizeGbits
+		if t.MetDeadline(slotSeconds) {
+			met++
+		}
+		metBits += t.DeliveredByDeadline
+	}
+	st := DeadlineStats{}
+	if total > 0 {
+		st.TransfersMetPct = 100 * float64(met) / float64(total)
+	}
+	if totalBits > 0 {
+		st.BytesMetPct = 100 * metBits / totalBits
+	}
+	return st
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"owan/internal/transfer"
+)
+
+func TestMeanAndPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Mean(xs) != 3 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Errorf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 95) != 5 {
+		t.Errorf("p95 = %v", Percentile(xs, 95))
+	}
+	if Percentile(xs, 0) != 1 {
+		t.Errorf("p0 = %v", Percentile(xs, 0))
+	}
+	if Mean(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Error("empty inputs should yield 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 95)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		cdf := CDF(xs)
+		if len(cdf) != len(xs) {
+			return false
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X < cdf[i-1].X || cdf[i].F <= cdf[i-1].F {
+				return false
+			}
+		}
+		return math.Abs(cdf[len(cdf)-1].F-1) < 1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mk(id int, size float64, deadline int) *transfer.Transfer {
+	return transfer.NewTransfer(transfer.Request{ID: id, Src: 0, Dst: 1, SizeGbits: size, Deadline: deadline})
+}
+
+func TestBinBySize(t *testing.T) {
+	var ts []*transfer.Transfer
+	for i := 0; i < 9; i++ {
+		ts = append(ts, mk(i, float64(i+1)*100, transfer.NoDeadline))
+	}
+	bins := BinBySize(ts)
+	if len(bins[Small]) != 3 || len(bins[Middle]) != 3 || len(bins[Large]) != 3 {
+		t.Fatalf("bin sizes %d/%d/%d", len(bins[Small]), len(bins[Middle]), len(bins[Large]))
+	}
+	var smallMax, largeMin float64 = 0, math.Inf(1)
+	for _, x := range bins[Small] {
+		smallMax = math.Max(smallMax, x.SizeGbits)
+	}
+	for _, x := range bins[Large] {
+		largeMin = math.Min(largeMin, x.SizeGbits)
+	}
+	if smallMax >= largeMin {
+		t.Errorf("bins overlap: small max %v >= large min %v", smallMax, largeMin)
+	}
+}
+
+func TestBinBySizePartitions(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		var ts []*transfer.Transfer
+		for i := 0; i < n; i++ {
+			ts = append(ts, mk(i, rng.Float64()*1000+1, transfer.NoDeadline))
+		}
+		bins := BinBySize(ts)
+		ids := map[int]bool{}
+		for _, b := range []Bin{Small, Middle, Large} {
+			for _, x := range bins[b] {
+				if ids[x.ID] {
+					return false
+				}
+				ids[x.ID] = true
+			}
+		}
+		return len(ids) == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompletionTimes(t *testing.T) {
+	a := mk(0, 100, transfer.NoDeadline)
+	a.Done = true
+	a.FinishTime = 500
+	b := mk(1, 100, transfer.NoDeadline)
+	b.Arrival = 2
+	b.Done = true
+	b.FinishTime = 900
+	c := mk(2, 100, transfer.NoDeadline) // incomplete
+	cts := CompletionTimes([]*transfer.Transfer{a, b, c}, 300)
+	sort.Float64s(cts)
+	if len(cts) != 2 || cts[0] != 300 || cts[1] != 500 {
+		t.Errorf("completion times = %v, want [300 500]", cts)
+	}
+}
+
+func TestFactorOfImprovement(t *testing.T) {
+	if FactorOfImprovement(2, 8) != 4 {
+		t.Error("factor should be other/owan")
+	}
+	if !math.IsInf(FactorOfImprovement(0, 8), 1) {
+		t.Error("zero owan time should be +Inf")
+	}
+}
+
+func TestDeadlines(t *testing.T) {
+	slotSeconds := 300.0
+	// Met: finished within deadline slot 1 (end 600 s).
+	a := mk(0, 100, 1)
+	a.Done = true
+	a.FinishTime = 400
+	a.DeliveredByDeadline = 100
+	// Missed: finished at 2000 s with deadline slot 1.
+	b := mk(1, 100, 1)
+	b.Done = true
+	b.FinishTime = 2000
+	b.DeliveredByDeadline = 40
+	// No deadline: ignored entirely.
+	c := mk(2, 100, transfer.NoDeadline)
+	st := Deadlines([]*transfer.Transfer{a, b, c}, slotSeconds)
+	if st.TransfersMetPct != 50 {
+		t.Errorf("transfers met = %v, want 50", st.TransfersMetPct)
+	}
+	if st.BytesMetPct != 70 {
+		t.Errorf("bytes met = %v, want 70 ((100+40)/200)", st.BytesMetPct)
+	}
+}
+
+func TestDeadlinesEmpty(t *testing.T) {
+	st := Deadlines(nil, 300)
+	if st.TransfersMetPct != 0 || st.BytesMetPct != 0 {
+		t.Error("empty input should yield zeros")
+	}
+}

@@ -1,0 +1,141 @@
+package optical
+
+import (
+	"testing"
+
+	"owan/internal/topology"
+)
+
+// tinyTriangle builds a 3-site triangle with very scarce wavelengths on
+// the direct A-B fiber so circuit provisioning must fall back to the
+// two-hop alternate fiber route.
+func tinyTriangle() *topology.Network {
+	n := &topology.Network{
+		Name:      "tri",
+		ThetaGbps: 10,
+		ReachKm:   5000,
+		Sites: []topology.Site{
+			{ID: 0, Name: "A", RouterPorts: 8, HasRouter: true},
+			{ID: 1, Name: "B", RouterPorts: 8, HasRouter: true},
+			{ID: 2, Name: "C", RouterPorts: 8, HasRouter: true},
+		},
+		Fibers: []topology.Fiber{
+			{ID: 0, A: 0, B: 1, LengthKm: 100, Wavelengths: 1}, // scarce direct
+			{ID: 1, A: 0, B: 2, LengthKm: 100, Wavelengths: 8},
+			{ID: 2, A: 1, B: 2, LengthKm: 100, Wavelengths: 8},
+		},
+	}
+	return n
+}
+
+func TestAlternateFiberRouteUsed(t *testing.T) {
+	net := tinyTriangle()
+	s := NewState(net)
+	// First circuit takes the only direct wavelength.
+	c1, err := s.Provision(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Segments[0].FiberIDs) != 1 || c1.Segments[0].FiberIDs[0] != 0 {
+		t.Fatalf("first circuit should use the direct fiber, got %v", c1.Segments[0].FiberIDs)
+	}
+	// Second circuit must detour via C on fibers 1+2.
+	c2, err := s.Provision(0, 1)
+	if err != nil {
+		t.Fatalf("second circuit should use the alternate fiber route: %v", err)
+	}
+	ids := c2.Segments[0].FiberIDs
+	if len(ids) != 2 {
+		t.Fatalf("alternate route fibers = %v, want the 2-fiber detour", ids)
+	}
+	if c2.Segments[0].LengthKm != 200 {
+		t.Errorf("alternate length = %v, want 200", c2.Segments[0].LengthKm)
+	}
+	// Releases restore both routes.
+	if err := s.Release(c1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(c2.ID); err != nil {
+		t.Fatal(err)
+	}
+	for f := range net.Fibers {
+		if s.WavelengthsUsed(f) != 0 {
+			t.Errorf("fiber %d not clean after release", f)
+		}
+	}
+}
+
+func TestAlternateRespectsReach(t *testing.T) {
+	// Alternate route longer than reach must NOT be used.
+	net := tinyTriangle()
+	net.ReachKm = 150 // direct (100) ok; detour (200) too long
+	s := NewState(net)
+	if _, err := s.Provision(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// No wavelengths left on the direct fiber, and the detour exceeds
+	// reach with no regenerators anywhere: provisioning must fail.
+	if _, err := s.Provision(0, 1); err == nil {
+		t.Error("out-of-reach alternate should not be used")
+	}
+}
+
+func TestAlternateWithRegenerator(t *testing.T) {
+	// With a regenerator at C, the out-of-reach detour becomes feasible as
+	// two regenerated segments A-C, C-B.
+	net := tinyTriangle()
+	net.ReachKm = 150
+	net.Sites[2].Regenerators = 2
+	s := NewState(net)
+	if _, err := s.Provision(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Provision(0, 1)
+	if err != nil {
+		t.Fatalf("regenerated detour should work: %v", err)
+	}
+	if len(c2.RegenSites) != 1 || c2.RegenSites[0] != 2 {
+		t.Errorf("regen sites = %v, want [2]", c2.RegenSites)
+	}
+	if len(c2.Segments) != 2 {
+		t.Errorf("segments = %d, want 2 (regenerated at C)", len(c2.Segments))
+	}
+}
+
+// TestFiberIDsSurviveRemoval is a regression test: optical state must key
+// fibers by ID, not slice position, because failure handling removes
+// fibers from the middle of the slice while the survivors keep their ids.
+func TestFiberIDsSurviveRemoval(t *testing.T) {
+	net := topology.Internet2(15)
+	// Remove fiber 3 (LOSA-HOUS): ids 4..11 now live at earlier indices.
+	clone := *net
+	clone.Fibers = append(append([]topology.Fiber(nil), net.Fibers[:3]...), net.Fibers[4:]...)
+	s := NewState(&clone)
+	// Provision across the network; before the fix this panicked with an
+	// index out of range on fiber id 11. Some distant pairs may now be
+	// unreachable (regenerator coverage was placed for the full fiber
+	// map); errors are fine, panics are not.
+	provisioned := 0
+	for u := 0; u < clone.NumSites(); u++ {
+		for v := u + 1; v < clone.NumSites(); v++ {
+			if _, err := s.Provision(u, v); err == nil {
+				provisioned++
+			}
+		}
+	}
+	if provisioned == 0 {
+		t.Fatal("nothing provisioned on the surviving fibers")
+	}
+	// Wavelength accounting still keyed correctly: the removed fiber id
+	// reports zero usage.
+	if s.WavelengthsUsed(3) != 0 {
+		t.Error("removed fiber shows usage")
+	}
+	used := 0
+	for _, f := range clone.Fibers {
+		used += s.WavelengthsUsed(f.ID)
+	}
+	if used == 0 {
+		t.Error("no wavelength usage recorded on surviving fibers")
+	}
+}

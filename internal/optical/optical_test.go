@@ -1,0 +1,292 @@
+package optical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"owan/internal/topology"
+)
+
+func TestProvisionShortCircuit(t *testing.T) {
+	net := topology.Internet2(15)
+	s := NewState(net)
+	// WASH(7)-NEWY(8): 330 km, within reach, no regenerator needed.
+	c, err := s.Provision(7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Segments) != 1 || len(c.RegenSites) != 0 {
+		t.Errorf("segments=%d regens=%v, want 1 segment no regens", len(c.Segments), c.RegenSites)
+	}
+	if c.LengthKm() != 330 {
+		t.Errorf("length = %v, want 330", c.LengthKm())
+	}
+}
+
+func TestProvisionLongCircuitUsesRegenerators(t *testing.T) {
+	net := topology.Internet2(15)
+	s := NewState(net)
+	// SEAT(0)->NEWY(8) is far beyond 2000 km reach: must regenerate.
+	c, err := s.Provision(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.RegenSites) == 0 {
+		t.Error("cross-country circuit should use regenerators")
+	}
+	for _, r := range c.RegenSites {
+		if net.Sites[r].Regenerators == 0 {
+			t.Errorf("regen site %d has no regenerator pool", r)
+		}
+	}
+	// Every segment must respect reach.
+	for _, seg := range c.Segments {
+		if seg.LengthKm > net.ReachKm {
+			t.Errorf("segment length %v exceeds reach %v", seg.LengthKm, net.ReachKm)
+		}
+	}
+}
+
+func TestProvisionConsumesRegenerators(t *testing.T) {
+	net := topology.Internet2(15)
+	s := NewState(net)
+	before := make(map[int]int)
+	for i := range net.Sites {
+		before[i] = s.RegenFree(i)
+	}
+	c, err := s.Provision(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for i := range net.Sites {
+		used += before[i] - s.RegenFree(i)
+	}
+	if used != len(c.RegenSites) {
+		t.Errorf("consumed %d regens, circuit records %d", used, len(c.RegenSites))
+	}
+	if err := s.Release(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Sites {
+		if s.RegenFree(i) != before[i] {
+			t.Errorf("site %d regens not restored: %d != %d", i, s.RegenFree(i), before[i])
+		}
+	}
+}
+
+func TestWavelengthExhaustion(t *testing.T) {
+	net := topology.Square() // 4 wavelengths per fiber
+	s := NewState(net)
+	// R0-R1 fiber is direct. Provision until the fiber is full.
+	n := 0
+	for ; n < 10; n++ {
+		if _, err := s.Provision(0, 1); err != nil {
+			break
+		}
+	}
+	// Circuits can route either directly (4 λ) or around 0-2-3-1 (4 λ,
+	// limited by the same count on each hop): at most 8 total.
+	if n < 4 || n > 8 {
+		t.Errorf("provisioned %d circuits, want between 4 and 8", n)
+	}
+	// After exhaustion provisioning must keep failing.
+	if _, err := s.Provision(0, 1); err == nil {
+		t.Error("expected failure after wavelength exhaustion")
+	}
+}
+
+func TestReleaseRestoresWavelengths(t *testing.T) {
+	net := topology.Square()
+	s := NewState(net)
+	var ids []int
+	for {
+		c, err := s.Provision(0, 1)
+		if err != nil {
+			break
+		}
+		ids = append(ids, c.ID)
+	}
+	for _, id := range ids {
+		if err := s.Release(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := range net.Fibers {
+		if s.WavelengthsUsed(f) != 0 {
+			t.Errorf("fiber %d still has %d wavelengths in use", f, s.WavelengthsUsed(f))
+		}
+	}
+	if s.Circuits() != 0 {
+		t.Errorf("still %d circuits", s.Circuits())
+	}
+}
+
+func TestReleaseUnknown(t *testing.T) {
+	s := NewState(topology.Square())
+	if err := s.Release(42); err == nil {
+		t.Error("releasing unknown circuit should fail")
+	}
+}
+
+func TestProvisionSelfLoop(t *testing.T) {
+	s := NewState(topology.Square())
+	if _, err := s.Provision(1, 1); err == nil {
+		t.Error("self circuit should fail")
+	}
+}
+
+func TestRegeneratorBalancing(t *testing.T) {
+	// Provision many long circuits; the inverse-weight rule should spread
+	// regenerator usage across concentration sites rather than draining one.
+	net := topology.Internet2(15)
+	s := NewState(net)
+	for i := 0; i < 6; i++ {
+		if _, err := s.Provision(0, 8); err != nil {
+			t.Fatalf("circuit %d: %v", i, err)
+		}
+	}
+	// No concentration site should be fully drained while another is
+	// untouched, unless only one site exists.
+	var pools []int
+	for i, site := range net.Sites {
+		if site.Regenerators > 0 {
+			pools = append(pools, site.Regenerators-s.RegenFree(i))
+		}
+	}
+	if len(pools) >= 2 {
+		minUse, maxUse := pools[0], pools[0]
+		for _, u := range pools {
+			if u < minUse {
+				minUse = u
+			}
+			if u > maxUse {
+				maxUse = u
+			}
+		}
+		if maxUse > 0 && maxUse-minUse > maxUse {
+			t.Errorf("unbalanced regen usage: %v", pools)
+		}
+	}
+}
+
+func TestProvisionTopologyInternet2(t *testing.T) {
+	net := topology.Internet2(15)
+	s := NewState(net)
+	ls := topology.InitialTopology(net)
+	plan := s.ProvisionTopology(ls)
+	if plan.TotalBuilt() == 0 {
+		t.Fatal("no circuits built")
+	}
+	eff := plan.Effective(net.NumSites())
+	// Effective capacity never exceeds the request.
+	for _, l := range eff.Links() {
+		if l.Count > ls.Get(l.U, l.V) {
+			t.Errorf("link %d-%d effective %d > requested %d", l.U, l.V, l.Count, ls.Get(l.U, l.V))
+		}
+	}
+	// With 80 wavelengths per fiber and modest port counts, the full initial
+	// topology should be realizable.
+	if plan.TotalBuilt() != ls.TotalCircuits() {
+		t.Errorf("built %d of %d circuits", plan.TotalBuilt(), ls.TotalCircuits())
+	}
+}
+
+func TestProvisionTopologyIsDeterministic(t *testing.T) {
+	net := topology.ISP(30, 8, 5)
+	ls := topology.InitialTopology(net)
+	a := NewState(net).ProvisionTopology(ls)
+	b := NewState(net).ProvisionTopology(ls)
+	if a.TotalBuilt() != b.TotalBuilt() || len(a.Links) != len(b.Links) {
+		t.Fatal("provisioning not deterministic")
+	}
+	for i := range a.Links {
+		if a.Links[i].U != b.Links[i].U || a.Links[i].Built != b.Links[i].Built {
+			t.Errorf("link %d differs", i)
+		}
+	}
+}
+
+// Property: wavelength occupancy on every fiber never exceeds φ and is
+// exactly restored by releases.
+func TestWavelengthAccounting(t *testing.T) {
+	net := topology.Internet2(15)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(net)
+		var live []int
+		for op := 0; op < 40; op++ {
+			if len(live) > 0 && rng.Float64() < 0.4 {
+				i := rng.Intn(len(live))
+				if s.Release(live[i]) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				u, v := rng.Intn(9), rng.Intn(9)
+				if u == v {
+					continue
+				}
+				c, err := s.Provision(u, v)
+				if err != nil {
+					continue
+				}
+				live = append(live, c.ID)
+			}
+			for f, fb := range net.Fibers {
+				if s.WavelengthsUsed(f) > fb.Wavelengths {
+					return false
+				}
+			}
+			for i := range net.Sites {
+				if s.RegenFree(i) < 0 {
+					return false
+				}
+			}
+		}
+		for _, id := range live {
+			if s.Release(id) != nil {
+				return false
+			}
+		}
+		for f := range net.Fibers {
+			if s.WavelengthsUsed(f) != 0 {
+				return false
+			}
+		}
+		for i, site := range net.Sites {
+			if s.RegenFree(i) != site.Regenerators {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestROADMPowerBudget(t *testing.T) {
+	p := ROADMPath{EDFAGainDB: DefaultEDFAGainDB}
+	if p.LossDB() != 28 {
+		t.Errorf("loss = %v dB, want 28 (5+10.5+0.5+7+5)", p.LossDB())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default gain should satisfy budget: %v", err)
+	}
+	bad := ROADMPath{EDFAGainDB: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("no gain should exceed the 16 dB budget (28 dB loss)")
+	}
+}
+
+func BenchmarkProvisionTopologyISP40(b *testing.B) {
+	net := topology.ISP(40, 10, 1)
+	ls := topology.InitialTopology(net)
+	s := NewState(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ProvisionTopology(ls)
+	}
+}

@@ -1,0 +1,77 @@
+package optical
+
+import (
+	"sort"
+
+	"owan/internal/topology"
+)
+
+// LinkCircuits records the circuits provisioned for one network-layer link.
+type LinkCircuits struct {
+	U, V     int
+	Want     int   // requested parallel circuits
+	Built    int   // circuits actually provisioned
+	Circuits []int // circuit ids
+}
+
+// TopologyPlan is the result of realizing a network-layer topology in the
+// optical layer: per-link circuit counts after applying wavelength, reach
+// and regenerator constraints (Algorithm 3, lines 2–14 of the paper).
+type TopologyPlan struct {
+	Links []LinkCircuits
+}
+
+// Effective returns the effective link capacities (in circuits) as a
+// LinkSet: the requested topology with capacities reduced where the optical
+// layer could not satisfy them.
+func (tp *TopologyPlan) Effective(n int) *topology.LinkSet {
+	ls := topology.NewLinkSet(n)
+	for _, lc := range tp.Links {
+		if lc.Built > 0 {
+			ls.Add(lc.U, lc.V, lc.Built)
+		}
+	}
+	return ls
+}
+
+// TotalBuilt returns the number of circuits provisioned across all links.
+func (tp *TopologyPlan) TotalBuilt() int {
+	t := 0
+	for _, lc := range tp.Links {
+		t += lc.Built
+	}
+	return t
+}
+
+// ProvisionTopology provisions circuits for every link of the desired
+// network-layer topology on a fresh optical state. Links are processed in
+// deterministic sorted order. If the optical layer cannot supply all
+// requested circuits for a link, the link's capacity is decreased (paper
+// Alg 3 lines 13–14) rather than failing the whole topology.
+//
+// The state is Reset first: topology realization is evaluated from scratch,
+// matching the stateless energy computation of the annealing search.
+func (s *State) ProvisionTopology(ls *topology.LinkSet) *TopologyPlan {
+	s.Reset()
+	links := ls.Links()
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].U != links[j].U {
+			return links[i].U < links[j].U
+		}
+		return links[i].V < links[j].V
+	})
+	plan := &TopologyPlan{}
+	for _, l := range links {
+		lc := LinkCircuits{U: l.U, V: l.V, Want: l.Count}
+		for k := 0; k < l.Count; k++ {
+			c, err := s.Provision(l.U, l.V)
+			if err != nil {
+				break
+			}
+			lc.Built++
+			lc.Circuits = append(lc.Circuits, c.ID)
+		}
+		plan.Links = append(plan.Links, lc)
+	}
+	return plan
+}

@@ -1,0 +1,393 @@
+// Package optical models the optical layer of a software-defined WAN: the
+// per-fiber wavelength inventory, per-site regenerator pools, and the
+// provisioning of optical circuits under the three WAN-specific constraints
+// the paper identifies (ROADM port budgets, optical reach with regenerators,
+// and wavelength capacity/distinctness per fiber).
+//
+// Circuit provisioning follows Algorithm 3 of the paper: build a
+// "regenerator graph" whose nodes are the circuit endpoints plus every site
+// with spare regenerators and whose edges connect sites whose shortest fiber
+// path is within optical reach; weight nodes by the inverse of their
+// remaining regenerators (to balance consumption); transform node weights to
+// edge weights in a directed graph; and pick feasible shortest paths,
+// checking wavelength availability hop by hop.
+package optical
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"owan/internal/graph"
+	"owan/internal/topology"
+)
+
+// waveSet is a bitset over wavelength indices of a fiber.
+type waveSet []uint64
+
+func newWaveSet(n int) waveSet { return make(waveSet, (n+63)/64) }
+
+func (w waveSet) has(i int) bool { return w[i/64]&(1<<(i%64)) != 0 }
+func (w waveSet) set(i int)      { w[i/64] |= 1 << (i % 64) }
+func (w waveSet) clear(i int)    { w[i/64] &^= 1 << (i % 64) }
+
+// popcount returns the number of set bits.
+func (w waveSet) popcount() int {
+	c := 0
+	for _, x := range w {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+// firstCommonFree returns the lowest wavelength index free in every given
+// fiber set, or -1.
+func firstCommonFree(sets []waveSet, phi int) int {
+	for i := 0; i < phi; i++ {
+		free := true
+		for _, s := range sets {
+			if s.has(i) {
+				free = false
+				break
+			}
+		}
+		if free {
+			return i
+		}
+	}
+	return -1
+}
+
+// Segment is one regeneration-free span of a circuit: a fiber path and the
+// wavelength it occupies on every fiber of that path.
+type Segment struct {
+	FiberIDs   []int
+	Wavelength int
+	LengthKm   float64
+}
+
+// Circuit is a provisioned optical circuit realizing one network-layer link.
+type Circuit struct {
+	ID         int
+	Src, Dst   int
+	Segments   []Segment
+	RegenSites []int // intermediate sites where the signal is regenerated
+}
+
+// LengthKm returns the total fiber length of the circuit.
+func (c *Circuit) LengthKm() float64 {
+	t := 0.0
+	for _, s := range c.Segments {
+		t += s.LengthKm
+	}
+	return t
+}
+
+// State is the mutable occupancy of the optical layer for one Network.
+type State struct {
+	net       *topology.Network
+	fiberUse  map[int]waveSet        // keyed by fiber ID (ids survive removals)
+	fiberByID map[int]topology.Fiber // fiber metadata by ID
+	regenFree []int                  // remaining regenerators per site
+	circuits  map[int]*Circuit
+	nextID    int
+	// unitRegenWeights disables the inverse-remaining regenerator
+	// balancing (ablation knob): every regenerator site weighs 1.
+	unitRegenWeights bool
+	fiberGraph       *graph.Graph
+	// pairDist[u][v] is the shortest fiber distance; pairPath[u][v] the
+	// corresponding fiber-ID sequence; pairAlts[u][v] up to kFiberPaths-1
+	// in-reach alternative fiber routes tried when the primary has no free
+	// wavelength. Precomputed once: the fiber layer is static.
+	pairDist [][]float64
+	pairPath [][][]int
+	pairAlts [][][]fiberRoute
+}
+
+// fiberRoute is one candidate fiber realization of a segment.
+type fiberRoute struct {
+	ids []int
+	km  float64
+}
+
+// kFiberPaths is how many fiber routes per site pair a segment may try.
+const kFiberPaths = 3
+
+// NewState builds an empty optical state for the network.
+func NewState(net *topology.Network) *State {
+	ns := net.NumSites()
+	s := &State{
+		net:        net,
+		fiberUse:   make(map[int]waveSet, len(net.Fibers)),
+		fiberByID:  make(map[int]topology.Fiber, len(net.Fibers)),
+		regenFree:  make([]int, ns),
+		circuits:   make(map[int]*Circuit),
+		fiberGraph: net.FiberGraph(),
+		pairDist:   make([][]float64, ns),
+		pairPath:   make([][][]int, ns),
+		pairAlts:   make([][][]fiberRoute, ns),
+	}
+	for _, f := range net.Fibers {
+		s.fiberUse[f.ID] = newWaveSet(f.Wavelengths)
+		s.fiberByID[f.ID] = f
+	}
+	for i, site := range net.Sites {
+		s.regenFree[i] = site.Regenerators
+	}
+	for u := 0; u < ns; u++ {
+		s.pairDist[u] = s.fiberGraph.ShortestDistances(u)
+		s.pairPath[u] = make([][]int, ns)
+		s.pairAlts[u] = make([][]fiberRoute, ns)
+		for v := 0; v < ns; v++ {
+			if u == v || math.IsInf(s.pairDist[u][v], 1) {
+				continue
+			}
+			paths := s.fiberGraph.KShortestPaths(u, v, kFiberPaths)
+			for pi, p := range paths {
+				ids := make([]int, len(p.Edges))
+				for i, e := range p.Edges {
+					ids[i] = e.ID
+				}
+				if pi == 0 {
+					s.pairPath[u][v] = ids
+				} else if p.Weight <= net.ReachKm {
+					// Alternates are only useful if they themselves stay
+					// within optical reach.
+					s.pairAlts[u][v] = append(s.pairAlts[u][v], fiberRoute{ids: ids, km: p.Weight})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Reset releases every circuit and restores all regenerator pools.
+func (s *State) Reset() {
+	for id := range s.fiberUse {
+		for j := range s.fiberUse[id] {
+			s.fiberUse[id][j] = 0
+		}
+	}
+	for i, site := range s.net.Sites {
+		s.regenFree[i] = site.Regenerators
+	}
+	s.circuits = make(map[int]*Circuit)
+}
+
+// RegenFree returns the number of spare regenerators at site v.
+func (s *State) RegenFree(v int) int { return s.regenFree[v] }
+
+// WavelengthsUsed returns the number of wavelengths in use on fiber f.
+func (s *State) WavelengthsUsed(f int) int { return s.fiberUse[f].popcount() }
+
+// Circuits returns the number of live circuits.
+func (s *State) Circuits() int { return len(s.circuits) }
+
+// Circuit returns a live circuit by id.
+func (s *State) Circuit(id int) (*Circuit, bool) {
+	c, ok := s.circuits[id]
+	return c, ok
+}
+
+// FiberDistKm returns the shortest fiber distance between two sites.
+func (s *State) FiberDistKm(u, v int) float64 { return s.pairDist[u][v] }
+
+// SetUnitRegenWeights toggles the regenerator-balancing ablation: when
+// true, regenerator-graph nodes weigh 1 instead of the inverse of their
+// remaining pool.
+func (s *State) SetUnitRegenWeights(on bool) { s.unitRegenWeights = on }
+
+// FiberPathIDs returns the fiber ids of the shortest fiber path between two
+// sites (nil if none). The slice is shared; callers must not mutate it.
+func (s *State) FiberPathIDs(u, v int) []int { return s.pairPath[u][v] }
+
+// segmentFeasible checks that some in-reach fiber route u->v has a common
+// free wavelength; it returns the route and wavelength, or a nil route.
+// The shortest fiber path is tried first, then the precomputed in-reach
+// alternates (the paper's canBeBuilt check walks candidate paths the same
+// way).
+func (s *State) segmentFeasible(u, v int) (fiberRoute, int) {
+	if s.pairDist[u][v] <= s.net.ReachKm && s.pairPath[u][v] != nil {
+		if l := s.routeLambda(s.pairPath[u][v]); l >= 0 {
+			return fiberRoute{ids: s.pairPath[u][v], km: s.pairDist[u][v]}, l
+		}
+	}
+	for _, alt := range s.pairAlts[u][v] {
+		if l := s.routeLambda(alt.ids); l >= 0 {
+			return alt, l
+		}
+	}
+	return fiberRoute{}, -1
+}
+
+// routeLambda returns the lowest wavelength free on every fiber of the
+// route, or -1.
+func (s *State) routeLambda(ids []int) int {
+	sets := make([]waveSet, len(ids))
+	phi := math.MaxInt
+	for i, id := range ids {
+		sets[i] = s.fiberUse[id]
+		if w := s.fiberByID[id].Wavelengths; w < phi {
+			phi = w
+		}
+	}
+	return firstCommonFree(sets, phi)
+}
+
+// Provision establishes a circuit between src and dst, consuming wavelengths
+// and regenerators. It returns the circuit or an error if no feasible
+// combination of regenerator sites and wavelengths exists.
+func (s *State) Provision(src, dst int) (*Circuit, error) {
+	if src == dst {
+		return nil, fmt.Errorf("optical: circuit endpoints equal (%d)", src)
+	}
+	hops, err := s.findRegenRoute(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	// Realize every hop as a segment on a feasible fiber route.
+	c := &Circuit{ID: s.nextID, Src: src, Dst: dst}
+	for i := 0; i+1 < len(hops); i++ {
+		u, v := hops[i], hops[i+1]
+		route, lambda := s.segmentFeasible(u, v)
+		if lambda < 0 {
+			// findRegenRoute verified feasibility, so this is unreachable
+			// unless state changed concurrently.
+			return nil, fmt.Errorf("optical: segment %d-%d became infeasible", u, v)
+		}
+		seg := Segment{FiberIDs: append([]int(nil), route.ids...), Wavelength: lambda, LengthKm: route.km}
+		for _, id := range route.ids {
+			s.fiberUse[id].set(lambda)
+		}
+		c.Segments = append(c.Segments, seg)
+		if i+1 < len(hops)-1 { // interior node regenerates
+			s.regenFree[v]--
+			c.RegenSites = append(c.RegenSites, v)
+		}
+	}
+	s.nextID++
+	s.circuits[c.ID] = c
+	return c, nil
+}
+
+// Release tears down a circuit, returning its wavelengths and regenerators
+// to the pools.
+func (s *State) Release(id int) error {
+	c, ok := s.circuits[id]
+	if !ok {
+		return fmt.Errorf("optical: unknown circuit %d", id)
+	}
+	for _, seg := range c.Segments {
+		for _, fid := range seg.FiberIDs {
+			s.fiberUse[fid].clear(seg.Wavelength)
+		}
+	}
+	for _, r := range c.RegenSites {
+		s.regenFree[r]++
+	}
+	delete(s.circuits, id)
+	return nil
+}
+
+// findRegenRoute picks the sequence of sites (src, regenerators..., dst)
+// for a new circuit. It builds the regenerator graph, weights nodes by
+// 1/remaining-regenerators (endpoints weigh zero), transforms node weights
+// into edge weights on a directed graph (each directed edge carries the
+// weight of its head node, Figure 5 of the paper), and then iterates the
+// shortest feasible paths, checking per-segment wavelength availability.
+func (s *State) findRegenRoute(src, dst int) ([]int, error) {
+	// Fast path: a direct segment within reach with a free wavelength needs
+	// no regenerator graph at all. This covers the vast majority of circuits
+	// on continental topologies and keeps the annealing energy function fast.
+	if _, l := s.segmentFeasible(src, dst); l >= 0 {
+		return []int{src, dst}, nil
+	}
+	ns := s.net.NumSites()
+	// Nodes of the regenerator graph: src, dst, and sites with spare regens.
+	nodes := []int{}
+	for v := 0; v < ns; v++ {
+		if v == src || v == dst || s.regenFree[v] > 0 {
+			nodes = append(nodes, v)
+		}
+	}
+	idx := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	weight := func(v int) float64 {
+		if v == src || v == dst {
+			return 0
+		}
+		if s.unitRegenWeights {
+			return 1
+		}
+		// Inverse of remaining regenerators balances consumption across
+		// concentration sites. A tiny epsilon keeps paths short when all
+		// weights are equal.
+		return 1/float64(s.regenFree[v]) + 1e-6
+	}
+	tg := graph.New(len(nodes))
+	for i, u := range nodes {
+		for j, v := range nodes {
+			if i == j {
+				continue
+			}
+			if s.pairDist[u][v] <= s.net.ReachKm && s.pairPath[u][v] != nil {
+				tg.AddEdge(i, j, weight(v), 0)
+			}
+		}
+	}
+	// Try the single shortest path first (cheap), then fall back to Yen's
+	// k-shortest enumeration only when it is not buildable: wavelengths may
+	// be exhausted on some segment, or an interior site may be short of
+	// regenerators for a path that revisits it.
+	sp := tg.ShortestPath(idx[src], idx[dst])
+	if sp == nil {
+		return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
+	}
+	if hops := s.hopsOf(sp, nodes); s.routeBuildable(hops) {
+		return hops, nil
+	}
+	const kPaths = 6
+	paths := tg.KShortestPaths(idx[src], idx[dst], kPaths)
+	for _, p := range paths {
+		hops := s.hopsOf(p, nodes)
+		if hops != nil && s.routeBuildable(hops) {
+			return hops, nil
+		}
+	}
+	return nil, fmt.Errorf("optical: no buildable circuit %d->%d (wavelengths exhausted)", src, dst)
+}
+
+// hopsOf maps a path in the transformed regenerator graph back to site ids.
+func (s *State) hopsOf(p *graph.Path, nodes []int) []int {
+	verts := p.Vertices()
+	if verts == nil {
+		return nil
+	}
+	hops := make([]int, len(verts))
+	for i, vi := range verts {
+		hops[i] = nodes[vi]
+	}
+	return hops
+}
+
+// routeBuildable verifies wavelengths for every hop and regenerator
+// availability at interior nodes.
+func (s *State) routeBuildable(hops []int) bool {
+	need := map[int]int{}
+	for i := 0; i+1 < len(hops); i++ {
+		if _, l := s.segmentFeasible(hops[i], hops[i+1]); l < 0 {
+			return false
+		}
+		if i+1 < len(hops)-1 {
+			need[hops[i+1]]++
+		}
+	}
+	for v, n := range need {
+		if s.regenFree[v] < n {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,37 @@
+package sim
+
+// FailureAware is implemented by schedulers that react to physical-layer
+// failures (§3.4: "the controller removes these links and switches from
+// the physical network, and recomputes the network state").
+type FailureAware interface {
+	OnFiberFailure(fiberID int)
+}
+
+// OnFiberFailure rebuilds the Owan core on a copy of the network without
+// the failed fiber. The warm-started annealing then reconverges with
+// incremental updates, exactly as the paper argues.
+func (s *OwanScheduler) OnFiberFailure(fiberID int) {
+	s.O = s.O.WithoutFiber(fiberID)
+}
+
+// OnFiberFailure for the greedy baseline mirrors OwanScheduler.
+func (s *GreedyScheduler) OnFiberFailure(fiberID int) {
+	s.O = s.O.WithoutFiber(fiberID)
+}
+
+// injectFailures delivers the fiber failures configured for a slot to a
+// failure-aware scheduler and returns how many were delivered.
+func injectFailures(cfg *Config, slot int) int {
+	ids := cfg.FiberFailures[slot]
+	if len(ids) == 0 {
+		return 0
+	}
+	fa, ok := cfg.Scheduler.(FailureAware)
+	if !ok {
+		return 0
+	}
+	for _, id := range ids {
+		fa.OnFiberFailure(id)
+	}
+	return len(ids)
+}

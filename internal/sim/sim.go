@@ -1,0 +1,306 @@
+// Package sim is the flow-based discrete-time simulator used for the
+// paper's large-scale evaluation (§5.1): time is divided into slots, a
+// scheduler (Owan or a network-layer baseline) computes the topology and
+// per-transfer allocation at the start of each slot, and transfers then
+// progress fluidly at their allocated rates. Reconfiguration costs are
+// modelled by docking transmission time from transfers whose paths cross
+// links whose circuits changed in the slot.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"owan/internal/core"
+	"owan/internal/te"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+// Scheduler produces the network state for each slot.
+type Scheduler interface {
+	Name() string
+	// Schedule returns the topology to use for this slot and the
+	// allocation of paths/rates to the active transfers.
+	Schedule(slot int, topo *topology.LinkSet, active []*transfer.Transfer) (*topology.LinkSet, map[int][]transfer.PathRate)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Net       *topology.Network
+	Initial   *topology.LinkSet
+	Scheduler Scheduler
+	Requests  []transfer.Request
+	// SlotSeconds is the reconfiguration period (paper: five minutes).
+	SlotSeconds float64
+	// MaxSlots bounds the run; the simulation also stops once every
+	// transfer has completed.
+	MaxSlots int
+	// ReconfigSeconds is docked from the transmit time of any transfer
+	// whose path crosses a link whose circuit count changed this slot
+	// (circuits go dark for seconds during optical reconfiguration).
+	ReconfigSeconds float64
+	// FiberFailures injects fiber failures: at the start of the given
+	// slot, the listed fiber ids are reported to the scheduler (if it is
+	// FailureAware).
+	FiberFailures map[int][]int
+}
+
+// Result collects the outcome of a run.
+type Result struct {
+	Name      string
+	Transfers []*transfer.Transfer
+	// Slots actually simulated.
+	Slots       int
+	SlotSeconds float64
+	// SlotThroughput is the average goodput (Gbps) per slot.
+	SlotThroughput []float64
+	// Churn is the circuit adds+removes per slot.
+	Churn []int
+	// MakespanSeconds is the completion time of the last transfer, or +Inf
+	// if some transfer never finished within MaxSlots.
+	MakespanSeconds float64
+}
+
+// Completed returns the completed transfers.
+func (r *Result) Completed() []*transfer.Transfer {
+	var out []*transfer.Transfer
+	for _, t := range r.Transfers {
+		if t.Done {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Net == nil || cfg.Scheduler == nil || cfg.Initial == nil {
+		return nil, fmt.Errorf("sim: net, initial topology and scheduler are required")
+	}
+	if cfg.SlotSeconds <= 0 || cfg.MaxSlots <= 0 {
+		return nil, fmt.Errorf("sim: slot seconds and max slots must be positive")
+	}
+	ts := make([]*transfer.Transfer, 0, len(cfg.Requests))
+	for _, r := range cfg.Requests {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		ts = append(ts, transfer.NewTransfer(r))
+	}
+	res := &Result{
+		Name:        cfg.Scheduler.Name(),
+		Transfers:   ts,
+		SlotSeconds: cfg.SlotSeconds,
+	}
+	topo := cfg.Initial.Clone()
+	// negligibleGbits treats sub-kilobyte residues as complete: allocators
+	// drop rates below their numerical floor, so without this cutoff a
+	// transfer could approach zero asymptotically and never finish.
+	const negligibleGbits = 1e-5
+	for slot := 0; slot < cfg.MaxSlots; slot++ {
+		injectFailures(&cfg, slot)
+		for _, t := range ts {
+			if !t.Done && t.Arrival <= slot && t.Remaining <= negligibleGbits {
+				t.Remaining = 0
+				t.Done = true
+				t.FinishTime = float64(slot) * cfg.SlotSeconds
+			}
+		}
+		active := transfer.Active(ts, slot)
+		if len(active) == 0 {
+			if allArrived(ts, slot) && allDone(ts) {
+				break
+			}
+			res.SlotThroughput = append(res.SlotThroughput, 0)
+			res.Churn = append(res.Churn, 0)
+			res.Slots++
+			continue
+		}
+		newTopo, alloc := cfg.Scheduler.Schedule(slot, topo, active)
+		if newTopo == nil {
+			newTopo = topo
+		}
+		churn := topo.Diff(newTopo)
+		changed := changedLinks(topo, newTopo)
+
+		now := float64(slot) * cfg.SlotSeconds
+		sent := 0.0
+		for _, t := range active {
+			t.Alloc = alloc[t.ID]
+			dt := cfg.SlotSeconds
+			start := now
+			if churn > 0 && cfg.ReconfigSeconds > 0 && crossesChanged(t.Alloc, changed) {
+				// Circuits in flux are dark: transmission begins only after
+				// the optical reconfiguration completes.
+				dt = math.Max(0, dt-cfg.ReconfigSeconds)
+				start += cfg.ReconfigSeconds
+			}
+			sentT := t.Advance(start, dt, slot)
+			if t.Deadline != transfer.NoDeadline && slot <= t.Deadline {
+				t.DeliveredByDeadline += sentT
+			}
+			sent += sentT
+			t.Alloc = nil
+		}
+		res.SlotThroughput = append(res.SlotThroughput, sent/cfg.SlotSeconds)
+		res.Churn = append(res.Churn, churn)
+		res.Slots++
+		topo = newTopo
+	}
+	res.MakespanSeconds = makespan(ts)
+	return res, nil
+}
+
+func allArrived(ts []*transfer.Transfer, slot int) bool {
+	for _, t := range ts {
+		if t.Arrival > slot {
+			return false
+		}
+	}
+	return true
+}
+
+func allDone(ts []*transfer.Transfer) bool {
+	for _, t := range ts {
+		if !t.Done {
+			return false
+		}
+	}
+	return true
+}
+
+func makespan(ts []*transfer.Transfer) float64 {
+	m := 0.0
+	for _, t := range ts {
+		if !t.Done {
+			return math.Inf(1)
+		}
+		if t.FinishTime > m {
+			m = t.FinishTime
+		}
+	}
+	return m
+}
+
+func changedLinks(a, b *topology.LinkSet) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	seen := map[[2]int]bool{}
+	for k, v := range a.Count {
+		seen[k] = true
+		if b.Count[k] != v {
+			out[k] = true
+		}
+	}
+	for k, v := range b.Count {
+		if !seen[k] && v != 0 {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func crossesChanged(alloc []transfer.PathRate, changed map[[2]int]bool) bool {
+	for _, pr := range alloc {
+		for i := 0; i+1 < len(pr.Path); i++ {
+			u, v := pr.Path[i], pr.Path[i+1]
+			if u > v {
+				u, v = v, u
+			}
+			if changed[[2]int{u, v}] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TEScheduler adapts a network-layer-only te.Approach: the topology never
+// changes, except when a fiber failure forces the operator to re-derive
+// the static network layer from the surviving fiber map (set Net to make
+// the scheduler failure-aware).
+type TEScheduler struct {
+	Approach    te.Approach
+	Theta       float64
+	SlotSeconds float64
+	// Net, when set, enables OnFiberFailure: the fixed topology is rebuilt
+	// from the fiber map without the failed fiber.
+	Net *topology.Network
+	// override replaces the simulator-tracked topology after a failure.
+	override *topology.LinkSet
+}
+
+// Name implements Scheduler.
+func (s *TEScheduler) Name() string { return s.Approach.Name() }
+
+// OnFiberFailure rebuilds the fixed topology from the surviving fibers.
+// Without optical-layer control the operator cannot re-optimize; they can
+// only re-derive the same static design on what remains.
+func (s *TEScheduler) OnFiberFailure(fiberID int) {
+	if s.Net == nil {
+		return
+	}
+	idx := -1
+	for i, f := range s.Net.Fibers {
+		if f.ID == fiberID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	clone := *s.Net
+	clone.Fibers = append(append([]topology.Fiber(nil), s.Net.Fibers[:idx]...), s.Net.Fibers[idx+1:]...)
+	s.Net = &clone
+	s.override = topology.InitialTopology(&clone)
+}
+
+// Schedule implements Scheduler.
+func (s *TEScheduler) Schedule(slot int, topo *topology.LinkSet, active []*transfer.Transfer) (*topology.LinkSet, map[int][]transfer.PathRate) {
+	if s.override != nil {
+		topo = s.override
+		s.override = nil
+	}
+	in := &te.Input{
+		Topo:        topo,
+		Theta:       s.Theta,
+		Active:      active,
+		Slot:        slot,
+		SlotSeconds: s.SlotSeconds,
+	}
+	return topo, s.Approach.Allocate(in)
+}
+
+// OwanScheduler adapts the core simulated-annealing controller.
+type OwanScheduler struct {
+	O           *core.Owan
+	SlotSeconds float64
+	// LastStats holds the most recent search statistics.
+	LastStats core.SearchStats
+}
+
+// Name implements Scheduler.
+func (s *OwanScheduler) Name() string { return "owan" }
+
+// Schedule implements Scheduler.
+func (s *OwanScheduler) Schedule(slot int, topo *topology.LinkSet, active []*transfer.Transfer) (*topology.LinkSet, map[int][]transfer.PathRate) {
+	st := s.O.ComputeNetworkState(topo, active, slot, s.SlotSeconds)
+	s.LastStats = st.Stats
+	return st.Topology, st.Alloc
+}
+
+// GreedyScheduler adapts the separate-layer greedy of Figure 10(a).
+type GreedyScheduler struct {
+	O           *core.Owan
+	SlotSeconds float64
+}
+
+// Name implements Scheduler.
+func (s *GreedyScheduler) Name() string { return "greedy-separate" }
+
+// Schedule implements Scheduler.
+func (s *GreedyScheduler) Schedule(slot int, topo *topology.LinkSet, active []*transfer.Transfer) (*topology.LinkSet, map[int][]transfer.PathRate) {
+	st := s.O.GreedySeparate(active, slot, s.SlotSeconds)
+	return st.Topology, st.Alloc
+}

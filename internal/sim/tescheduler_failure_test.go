@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"owan/internal/te"
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+func TestTESchedulerFiberFailureRebuildsTopology(t *testing.T) {
+	net := topology.Internet2(8)
+	s := &TEScheduler{Approach: te.MaxFlow{}, Theta: 10, SlotSeconds: 300, Net: net}
+	before := topology.InitialTopology(net)
+
+	// Fail WASH-NEWY (fiber 11): the re-derived static topology must no
+	// longer contain a WASH-NEWY adjacency born from that fiber.
+	s.OnFiberFailure(11)
+	if len(s.Net.Fibers) != 11 {
+		t.Fatalf("fibers = %d, want 11", len(s.Net.Fibers))
+	}
+	tr := transfer.NewTransfer(transfer.Request{ID: 0, Src: 7, Dst: 8, SizeGbits: 100, Deadline: transfer.NoDeadline})
+	newTopo, alloc := s.Schedule(0, before, []*transfer.Transfer{tr})
+	if newTopo.Equal(before) {
+		t.Error("topology should have been re-derived after the failure")
+	}
+	// The transfer still gets service via surviving links.
+	total := 0.0
+	for _, pr := range alloc[0] {
+		total += pr.Rate
+	}
+	if total <= 0 {
+		t.Error("no allocation after failure despite surviving connectivity")
+	}
+	// The override applies exactly once; later slots keep the new topology
+	// that the simulator now tracks.
+	again, _ := s.Schedule(1, newTopo, []*transfer.Transfer{tr})
+	if !again.Equal(newTopo) {
+		t.Error("subsequent slots should keep the rebuilt topology")
+	}
+}
+
+func TestTESchedulerFailureWithoutNetIsNoop(t *testing.T) {
+	s := &TEScheduler{Approach: te.MaxFlow{}, Theta: 10, SlotSeconds: 300}
+	s.OnFiberFailure(3) // must not panic
+	if s.override != nil {
+		t.Error("override set without a network")
+	}
+}
+
+func TestTESchedulerUnknownFiberIgnored(t *testing.T) {
+	net := topology.Internet2(8)
+	s := &TEScheduler{Approach: te.MaxFlow{}, Theta: 10, SlotSeconds: 300, Net: net}
+	s.OnFiberFailure(999)
+	if s.override != nil || len(s.Net.Fibers) != 12 {
+		t.Error("unknown fiber should be ignored")
+	}
+}

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if _, ok := s.Get("a"); ok {
+		t.Error("empty store returned a value")
+	}
+	s.Put("a", []byte("1"))
+	v, ok := s.Get("a")
+	if !ok || string(v) != "1" {
+		t.Errorf("got %q %v", v, ok)
+	}
+	s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Error("deleted key still present")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("abc"))
+	v, _ := s.Get("a")
+	v[0] = 'z'
+	v2, _ := s.Get("a")
+	if string(v2) != "abc" {
+		t.Error("mutation leaked into store")
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := New()
+	s.Put("transfer/1", nil)
+	s.Put("transfer/2", nil)
+	s.Put("meta/slot", nil)
+	ks := s.Keys("transfer/")
+	if len(ks) != 2 {
+		t.Errorf("keys = %v", ks)
+	}
+}
+
+func TestReplication(t *testing.T) {
+	p := New()
+	r := New()
+	p.Put("a", []byte("1"))
+	p.Put("b", []byte("2"))
+	p.Delete("a")
+	if err := Sync(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("a"); ok {
+		t.Error("replica has deleted key")
+	}
+	if v, _ := r.Get("b"); string(v) != "2" {
+		t.Error("replica missing key")
+	}
+	// Incremental sync.
+	p.Put("c", []byte("3"))
+	if err := Sync(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Get("c"); string(v) != "3" {
+		t.Error("incremental sync failed")
+	}
+	if r.Seq() != p.Seq() {
+		t.Errorf("seq mismatch %d != %d", r.Seq(), p.Seq())
+	}
+}
+
+func TestApplyRejectsGap(t *testing.T) {
+	r := New()
+	if err := r.Apply([]Entry{{Seq: 5, Key: "x", Value: []byte("1")}}); err == nil {
+		t.Error("gap accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				key := fmt.Sprintf("k%d", i)
+				s.Put(key, []byte{byte(j)})
+				s.Get(key)
+				s.Keys("k")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Seq() != 800 {
+		t.Errorf("seq = %d, want 800", s.Seq())
+	}
+}

@@ -1,0 +1,76 @@
+package te
+
+import (
+	"owan/internal/alloc"
+	"owan/internal/transfer"
+)
+
+// RateOnly is the weakest ablation of Figure 10(c): the topology and the
+// routing are fixed (single shortest path per transfer); only sending rates
+// are controlled. Rates are assigned by sequential water-filling in SJF
+// order on each transfer's fixed path.
+type RateOnly struct {
+	Policy transfer.Policy
+}
+
+// Name implements Approach.
+func (RateOnly) Name() string { return "rate-only" }
+
+// Allocate implements Approach.
+func (r RateOnly) Allocate(in *Input) map[int][]transfer.PathRate {
+	ordered := append([]*transfer.Transfer(nil), in.Active...)
+	transfer.Order(ordered, r.Policy, in.Slot, 0)
+	sp := shortestPathOfOrdered(in, ordered)
+	residual := map[[2]int]float64{}
+	for _, l := range in.Topo.Links() {
+		residual[linkKey(l.U, l.V)] = float64(l.Count) * in.Theta
+	}
+	out := make(map[int][]transfer.PathRate, len(ordered))
+	for i, t := range ordered {
+		p := sp[i]
+		if p == nil {
+			continue
+		}
+		rate := demandRate(t, in.SlotSeconds)
+		for _, lk := range pathLinks(p) {
+			if f := residual[lk]; f < rate {
+				rate = f
+			}
+		}
+		if rate <= 1e-9 {
+			continue
+		}
+		for _, lk := range pathLinks(p) {
+			residual[lk] -= rate
+		}
+		out[t.ID] = []transfer.PathRate{{Path: p, Rate: rate}}
+	}
+	return out
+}
+
+// shortestPathOfOrdered computes single shortest paths for an explicit
+// transfer ordering.
+func shortestPathOfOrdered(in *Input, ordered []*transfer.Transfer) [][]int {
+	sub := &Input{Topo: in.Topo, Theta: in.Theta, Active: ordered, Slot: in.Slot, SlotSeconds: in.SlotSeconds}
+	return shortestPathOf(sub)
+}
+
+// RateRouting is the middle ablation of Figure 10(c): routing and rates are
+// jointly optimized with the greedy multi-path assignment of Algorithm 3
+// (lines 15–25), but the topology stays fixed.
+type RateRouting struct {
+	Policy transfer.Policy
+	// StarveSlots is the starvation guard t̂ (0 disables).
+	StarveSlots int
+}
+
+// Name implements Approach.
+func (RateRouting) Name() string { return "rate-routing" }
+
+// Allocate implements Approach.
+func (rr RateRouting) Allocate(in *Input) map[int][]transfer.PathRate {
+	ordered := append([]*transfer.Transfer(nil), in.Active...)
+	transfer.Order(ordered, rr.Policy, in.Slot, rr.StarveSlots)
+	res := alloc.Greedy(in.Topo, in.Theta, alloc.DemandsFromTransfers(ordered, in.SlotSeconds))
+	return res.Alloc
+}

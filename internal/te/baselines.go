@@ -1,0 +1,172 @@
+package te
+
+import (
+	"owan/internal/lp"
+	"owan/internal/transfer"
+)
+
+// MaxFlow maximizes total throughput for the slot with a path-formulation
+// LP: one variable per (transfer, candidate path), capacity constraints per
+// link, and a demand cap per transfer.
+type MaxFlow struct{}
+
+// Name implements Approach.
+func (MaxFlow) Name() string { return "maxflow" }
+
+// Allocate implements Approach.
+func (MaxFlow) Allocate(in *Input) map[int][]transfer.PathRate {
+	paths := candidatePaths(in)
+	vi := buildVarIndex(paths)
+	if vi.count == 0 {
+		return map[int][]transfer.PathRate{}
+	}
+	p := lp.NewProblem(vi.count)
+	for v := 0; v < vi.count; v++ {
+		p.SetObjective(v, 1)
+	}
+	addCapacityConstraints(p, in, vi)
+	addDemandCaps(p, in, paths, vi, 1)
+	sol, err := p.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		return map[int][]transfer.PathRate{}
+	}
+	return extract(in, paths, vi, sol.X)
+}
+
+// MaxMinFract maximizes the minimum fraction of per-slot demand served
+// across transfers ("maximize the minimal fraction that a transfer can be
+// served at each time slot"). It does not fill leftover capacity, which is
+// exactly why the paper finds it performs worst on completion time.
+type MaxMinFract struct{}
+
+// Name implements Approach.
+func (MaxMinFract) Name() string { return "maxminfract" }
+
+// Allocate implements Approach.
+func (MaxMinFract) Allocate(in *Input) map[int][]transfer.PathRate {
+	paths := candidatePaths(in)
+	vi := buildVarIndex(paths)
+	if vi.count == 0 {
+		return map[int][]transfer.PathRate{}
+	}
+	// Variables: path rates plus t (the min fraction) as the last variable.
+	p := lp.NewProblem(vi.count + 1)
+	tVar := vi.count
+	p.SetObjective(tVar, 1)
+	addCapacityConstraints(p, in, vi)
+	addDemandCaps(p, in, paths, vi, 1)
+	// For each routable transfer: sum of its rates >= t * demand.
+	for i, t := range in.Active {
+		if len(paths[i]) == 0 {
+			continue
+		}
+		d := demandRate(t, in.SlotSeconds)
+		coeffs := map[int]float64{tVar: -d}
+		for _, v := range vi.vars[i] {
+			coeffs[v] = 1
+		}
+		p.AddConstraint(coeffs, lp.GE, 0)
+	}
+	// t is a fraction.
+	p.AddConstraint(map[int]float64{tVar: 1}, lp.LE, 1)
+	sol, err := p.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		return map[int][]transfer.PathRate{}
+	}
+	return extract(in, paths, vi, sol.X)
+}
+
+// SWAN approximates SWAN's allocation: first find the max-min fraction t*,
+// then maximize total throughput subject to every transfer retaining at
+// least fraction t* of its demand. This captures SWAN's "maximize
+// throughput while achieving approximate max-min fairness".
+type SWAN struct{}
+
+// Name implements Approach.
+func (SWAN) Name() string { return "swan" }
+
+// Allocate implements Approach.
+func (SWAN) Allocate(in *Input) map[int][]transfer.PathRate {
+	paths := candidatePaths(in)
+	vi := buildVarIndex(paths)
+	if vi.count == 0 {
+		return map[int][]transfer.PathRate{}
+	}
+	// Stage 1: max-min fraction.
+	p1 := lp.NewProblem(vi.count + 1)
+	tVar := vi.count
+	p1.SetObjective(tVar, 1)
+	addCapacityConstraints(p1, in, vi)
+	addDemandCaps(p1, in, paths, vi, 1)
+	for i, t := range in.Active {
+		if len(paths[i]) == 0 {
+			continue
+		}
+		d := demandRate(t, in.SlotSeconds)
+		coeffs := map[int]float64{tVar: -d}
+		for _, v := range vi.vars[i] {
+			coeffs[v] = 1
+		}
+		p1.AddConstraint(coeffs, lp.GE, 0)
+	}
+	p1.AddConstraint(map[int]float64{tVar: 1}, lp.LE, 1)
+	sol1, err := p1.Solve()
+	if err != nil || sol1.Status != lp.Optimal {
+		return map[int][]transfer.PathRate{}
+	}
+	tStar := sol1.X[tVar]
+	// Stage 2: maximize throughput with fractions >= t* (slightly relaxed
+	// for numerical robustness).
+	p2 := lp.NewProblem(vi.count)
+	for v := 0; v < vi.count; v++ {
+		p2.SetObjective(v, 1)
+	}
+	addCapacityConstraints(p2, in, vi)
+	addDemandCaps(p2, in, paths, vi, 1)
+	for i, t := range in.Active {
+		if len(paths[i]) == 0 {
+			continue
+		}
+		d := demandRate(t, in.SlotSeconds)
+		coeffs := map[int]float64{}
+		for _, v := range vi.vars[i] {
+			coeffs[v] = 1
+		}
+		p2.AddConstraint(coeffs, lp.GE, 0.999*tStar*d)
+	}
+	sol2, err := p2.Solve()
+	if err != nil || sol2.Status != lp.Optimal {
+		return extract(in, paths, vi, sol1.X)
+	}
+	return extract(in, paths, vi, sol2.X)
+}
+
+// addCapacityConstraints adds one LE row per link: total rate across it is
+// at most circuits × θ.
+func addCapacityConstraints(p *lp.Problem, in *Input, vi *varIndex) {
+	for _, l := range in.Topo.Links() {
+		vars, ok := vi.byLink[linkKey(l.U, l.V)]
+		if !ok {
+			continue
+		}
+		coeffs := map[int]float64{}
+		for _, v := range vars {
+			coeffs[v] = 1
+		}
+		p.AddConstraint(coeffs, lp.LE, float64(l.Count)*in.Theta)
+	}
+}
+
+// addDemandCaps bounds each transfer's total rate by scale × its demand.
+func addDemandCaps(p *lp.Problem, in *Input, paths [][][]int, vi *varIndex, scale float64) {
+	for i, t := range in.Active {
+		if len(paths[i]) == 0 {
+			continue
+		}
+		coeffs := map[int]float64{}
+		for _, v := range vi.vars[i] {
+			coeffs[v] = 1
+		}
+		p.AddConstraint(coeffs, lp.LE, scale*demandRate(t, in.SlotSeconds))
+	}
+}

@@ -1,0 +1,140 @@
+// Package te implements the network-layer-only traffic-engineering
+// baselines the paper compares Owan against (§5.1): MaxFlow, MaxMinFract,
+// SWAN, Tempus and Amoeba, plus the "rate only" and "rate + routing"
+// ablations of Figure 10(c). All of them treat the network-layer topology
+// as fixed for the slot; only Owan (internal/core) reconfigures it.
+package te
+
+import (
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+// Input is everything an approach sees for one scheduling slot.
+type Input struct {
+	// Topo is the (fixed) network-layer topology for the slot.
+	Topo *topology.LinkSet
+	// Theta is the capacity of one circuit in Gbps.
+	Theta float64
+	// Active are the live transfers (arrived, not completed).
+	Active []*transfer.Transfer
+	// Slot is the current slot index; SlotSeconds its length.
+	Slot        int
+	SlotSeconds float64
+}
+
+// Approach computes the per-transfer path/rate allocation for one slot.
+type Approach interface {
+	Name() string
+	Allocate(in *Input) map[int][]transfer.PathRate
+}
+
+// demandRate is the maximum useful rate for a transfer this slot.
+func demandRate(t *transfer.Transfer, slotSeconds float64) float64 {
+	return t.Remaining / slotSeconds
+}
+
+// kPaths is how many candidate paths the LP-based baselines consider per
+// transfer (the usual tunnel count in SWAN-style systems).
+const kPaths = 3
+
+// candidatePaths returns up to kPaths loopless shortest paths (by hop
+// count) for each active transfer on the topology. The result is indexed
+// like in.Active.
+func candidatePaths(in *Input) [][][]int {
+	g := in.Topo.Graph()
+	type pairKey struct{ s, d int }
+	cache := map[pairKey][][]int{}
+	out := make([][][]int, len(in.Active))
+	for i, t := range in.Active {
+		k := pairKey{t.Src, t.Dst}
+		if ps, ok := cache[k]; ok {
+			out[i] = ps
+			continue
+		}
+		var ps [][]int
+		for _, p := range g.KShortestPaths(t.Src, t.Dst, kPaths) {
+			ps = append(ps, p.Vertices())
+		}
+		cache[k] = ps
+		out[i] = ps
+	}
+	return out
+}
+
+// linkKey canonicalizes an undirected link.
+func linkKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// pathLinks yields the canonical links of a path.
+func pathLinks(path []int) [][2]int {
+	out := make([][2]int, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		out = append(out, linkKey(path[i], path[i+1]))
+	}
+	return out
+}
+
+// varIndex assigns LP variable indices to (transfer, path) pairs.
+type varIndex struct {
+	// vars[i][j] is the LP variable of transfer i's j-th path.
+	vars  [][]int
+	count int
+	// byLink collects, per link, every variable whose path crosses it.
+	byLink map[[2]int][]int
+}
+
+func buildVarIndex(paths [][][]int) *varIndex {
+	vi := &varIndex{byLink: map[[2]int][]int{}}
+	for i := range paths {
+		row := make([]int, len(paths[i]))
+		for j, p := range paths[i] {
+			row[j] = vi.count
+			for _, lk := range pathLinks(p) {
+				vi.byLink[lk] = append(vi.byLink[lk], vi.count)
+			}
+			vi.count++
+		}
+		vi.vars = append(vi.vars, row)
+	}
+	return vi
+}
+
+// extract converts an LP solution vector into per-transfer path rates,
+// dropping numerically-zero entries.
+func extract(in *Input, paths [][][]int, vi *varIndex, x []float64) map[int][]transfer.PathRate {
+	const minRate = 1e-6
+	out := make(map[int][]transfer.PathRate, len(in.Active))
+	for i, t := range in.Active {
+		for j, p := range paths[i] {
+			if r := x[vi.vars[i][j]]; r > minRate {
+				out[t.ID] = append(out[t.ID], transfer.PathRate{Path: p, Rate: r})
+			}
+		}
+	}
+	return out
+}
+
+// shortestPathOf returns the single shortest path for each transfer.
+func shortestPathOf(in *Input) [][]int {
+	g := in.Topo.Graph()
+	out := make([][]int, len(in.Active))
+	type pairKey struct{ s, d int }
+	cache := map[pairKey][]int{}
+	for i, t := range in.Active {
+		k := pairKey{t.Src, t.Dst}
+		if p, ok := cache[k]; ok {
+			out[i] = p
+			continue
+		}
+		if sp := g.ShortestPath(t.Src, t.Dst); sp != nil {
+			out[i] = sp.Vertices()
+		}
+		cache[k] = out[i]
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package update
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomStates builds a random but internally consistent old/new state
+// pair over a small topology: capacities cover route loads on both sides.
+func randomStates(rng *rand.Rand) (Config, *State, *State) {
+	const n = 5
+	theta := 10.0
+	// Fibers: one per potential link, with random spare wavelengths.
+	fiberOf := map[[2]int][]int{}
+	free := map[int]int{}
+	fid := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			fiberOf[[2]int{i, j}] = []int{fid}
+			free[fid] = rng.Intn(4)
+			fid++
+		}
+	}
+	mkState := func() *State {
+		st := &State{Circuits: map[[2]int]int{}, CircuitFibers: fiberOf}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					st.Circuits[[2]int{i, j}] = 1 + rng.Intn(3)
+				}
+			}
+		}
+		// Routes over single links only (keeps feasibility easy), loads
+		// within capacity.
+		id := 0
+		for l, c := range st.Circuits {
+			capacity := float64(c) * theta
+			used := 0.0
+			for used < capacity-2 && rng.Float64() < 0.6 {
+				r := 1 + rng.Float64()*(capacity-used-1)
+				st.Routes = append(st.Routes, Route{TransferID: id, Path: []int{l[0], l[1]}, Rate: r})
+				used += r
+				id += 1
+			}
+		}
+		return st
+	}
+	oldS, newS := mkState(), mkState()
+	// Give new-state transfers distinct ids so route diffs are clean.
+	for i := range newS.Routes {
+		newS.Routes[i].TransferID += 1000
+	}
+	return Config{Theta: theta, FiberFree: free}, oldS, newS
+}
+
+// TestPlanInvariantsRandom replays randomly generated plans and checks that
+// no intermediate state oversubscribes a link or a fiber.
+func TestPlanInvariantsRandom(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg, oldS, newS := randomStates(rng)
+		plan, err := BuildPlan(cfg, oldS, newS)
+		if err != nil {
+			// Deadlocks can be genuinely unresolvable when wavelengths are
+			// too scarce for the target; that is a correct refusal, not an
+			// invariant violation.
+			return true
+		}
+		// Replay with invariant checking (reusing the test helper's logic
+		// inline to return bool instead of failing).
+		circuits := map[[2]int]int{}
+		for l, c := range oldS.Circuits {
+			circuits[l] = c
+		}
+		freeW := map[int]int{}
+		for f, c := range cfg.FiberFree {
+			freeW[f] = c
+		}
+		load := map[[2]int]float64{}
+		for _, r := range oldS.Routes {
+			for _, l := range routeLinks(r.Path) {
+				load[l] += r.Rate
+			}
+		}
+		ok := func() bool {
+			for l, ld := range load {
+				if ld > float64(circuits[l])*cfg.Theta+1e-6 {
+					return false
+				}
+			}
+			for _, c := range freeW {
+				if c < 0 {
+					return false
+				}
+			}
+			return true
+		}
+		if !ok() {
+			return false
+		}
+		for _, round := range plan.Rounds {
+			for _, o := range round.Ops {
+				switch o.Kind {
+				case RemoveRoute:
+					for _, l := range routeLinks(o.Path) {
+						load[l] -= o.Rate
+					}
+				case AddRoute:
+					for _, l := range routeLinks(o.Path) {
+						load[l] += o.Rate
+					}
+				case ChangeRoute:
+					for _, l := range routeLinks(o.Path) {
+						load[l] += o.Rate - o.OldRate
+					}
+				case RemoveCircuit:
+					circuits[o.Link]--
+					for _, f := range o.Fibers {
+						freeW[f]++
+					}
+				case AddCircuit:
+					circuits[o.Link]++
+					for _, f := range o.Fibers {
+						freeW[f]--
+					}
+				}
+			}
+			if !ok() {
+				return false
+			}
+		}
+		// Terminal state must match the target exactly.
+		for l, want := range newS.Circuits {
+			if circuits[l] != want {
+				return false
+			}
+		}
+		for l, have := range circuits {
+			if have != 0 && newS.Circuits[l] != have {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimelineEndsAtNewThroughput: after the final round, the consistent
+// timeline carries exactly the new state's total rate.
+func TestTimelineEndsAtNewThroughput(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg, oldS, newS := randomStates(rng)
+		plan, err := BuildPlan(cfg, oldS, newS)
+		if err != nil {
+			return true
+		}
+		tl := plan.Timeline(oldS)
+		if len(tl) == 0 {
+			return false
+		}
+		want := 0.0
+		for _, r := range newS.Routes {
+			want += r.Rate
+		}
+		got := tl[len(tl)-1].Throughput
+		return got > want-1e-6 && got < want+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package update
+
+import (
+	"fmt"
+
+	"owan/internal/tcp"
+)
+
+// Sample is one point of the throughput-versus-time curve during an update.
+type Sample struct {
+	T          float64 // seconds since the update began
+	Throughput float64 // Gbps carried at that instant
+}
+
+// Timeline evaluates the throughput carried while a consistent plan
+// executes: routes contribute their rate from the moment they are added
+// until the moment they are removed; circuit operations by construction
+// never strand a live route, so they do not interrupt traffic.
+func (p *Plan) Timeline(oldState *State) []Sample {
+	live := map[string]Route{}
+	for _, r := range oldState.Routes {
+		live[routeKey(r)] = r
+	}
+	total := func() float64 {
+		t := 0.0
+		for _, r := range live {
+			t += r.Rate
+		}
+		return t
+	}
+	now := 0.0
+	samples := []Sample{{T: 0, Throughput: total()}}
+	for _, round := range p.Rounds {
+		for _, o := range round.Ops {
+			switch o.Kind {
+			case RemoveRoute:
+				delete(live, routeKey(Route{TransferID: o.TransferID, Path: o.Path, Rate: o.Rate}))
+			case AddRoute, ChangeRoute:
+				r := Route{TransferID: o.TransferID, Path: o.Path, Rate: o.Rate}
+				live[routeKey(r)] = r
+			}
+		}
+		now += round.Seconds()
+		samples = append(samples, Sample{T: now, Throughput: total()})
+	}
+	return samples
+}
+
+// OneShotTimeline evaluates the throughput of the naive update that pushes
+// every change simultaneously: the routers switch to the new routes almost
+// immediately, but every link whose circuits are being reconfigured goes
+// dark for CircuitOpSeconds, so new routes crossing a changed link carry
+// nothing during that window (their packets are dropped; with TCP the
+// effect the paper measures is a ~10% dip in total throughput).
+func OneShotTimeline(oldState, newState *State) []Sample {
+	changed := map[[2]int]bool{}
+	linkSet := map[[2]int]bool{}
+	for l := range oldState.Circuits {
+		linkSet[l] = true
+	}
+	for l := range newState.Circuits {
+		linkSet[l] = true
+	}
+	for l := range linkSet {
+		if oldState.Circuits[l] != newState.Circuits[l] {
+			changed[l] = true
+		}
+	}
+	during, after := 0.0, 0.0
+	for _, r := range newState.Routes {
+		after += r.Rate
+		dark := false
+		for _, l := range routeLinks(r.Path) {
+			if changed[l] {
+				dark = true
+				break
+			}
+		}
+		if !dark {
+			during += r.Rate
+		}
+	}
+	before := 0.0
+	for _, r := range oldState.Routes {
+		before += r.Rate
+	}
+	return []Sample{
+		{T: 0, Throughput: before},
+		{T: RouteOpSeconds, Throughput: during},
+		{T: CircuitOpSeconds, Throughput: during},
+		{T: CircuitOpSeconds + 1e-3, Throughput: after},
+	}
+}
+
+// MinThroughput returns the lowest throughput in a timeline.
+func MinThroughput(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	m := samples[0].Throughput
+	for _, s := range samples {
+		if s.Throughput < m {
+			m = s.Throughput
+		}
+	}
+	return m
+}
+
+// StateFromAlloc is a convenience for building update states from a
+// topology snapshot (circuits per link with their fiber routes) and an
+// allocation (transfer id -> path rates).
+func StateFromAlloc(circuits map[[2]int]int, fibers map[[2]int][]int, routes []Route) *State {
+	return &State{Circuits: circuits, CircuitFibers: fibers, Routes: routes}
+}
+
+// OneShotTCPTimeline refines OneShotTimeline with transport behaviour:
+// the routes crossing reconfigured links are TCP flows that time out
+// during the dark window and then recover through slow start, so total
+// throughput climbs back gradually instead of snapping to the new level
+// the moment circuits are up — the effect the paper measures on its
+// testbed ("packets get lost on these links, affecting the overall TCP
+// performance"). rttSeconds is the round-trip time driving the recovery
+// clock.
+func OneShotTCPTimeline(oldState, newState *State, rttSeconds float64) ([]Sample, error) {
+	if rttSeconds <= 0 {
+		return nil, fmt.Errorf("update: rtt must be positive")
+	}
+	changed := map[[2]int]bool{}
+	linkSet := map[[2]int]bool{}
+	for l := range oldState.Circuits {
+		linkSet[l] = true
+	}
+	for l := range newState.Circuits {
+		linkSet[l] = true
+	}
+	for l := range linkSet {
+		if oldState.Circuits[l] != newState.Circuits[l] {
+			changed[l] = true
+		}
+	}
+	unaffected, affected := 0.0, 0.0
+	nAffected := 0
+	for _, r := range newState.Routes {
+		dark := false
+		for _, l := range routeLinks(r.Path) {
+			if changed[l] {
+				dark = true
+				break
+			}
+		}
+		if dark {
+			affected += r.Rate
+			nAffected++
+		} else {
+			unaffected += r.Rate
+		}
+	}
+	before := 0.0
+	for _, r := range oldState.Routes {
+		before += r.Rate
+	}
+	samples := []Sample{{T: 0, Throughput: before}}
+	if nAffected == 0 {
+		samples = append(samples, Sample{T: RouteOpSeconds, Throughput: unaffected + affected})
+		return samples, nil
+	}
+	outageRounds := int(CircuitOpSeconds/rttSeconds + 0.5)
+	recoveryRounds := 40 * outageRounds
+	// Scale: the affected flows together fill `affected` Gbps at steady
+	// state; OutageRecovery works in segments, so use its own steady level
+	// as the 100% mark.
+	flowSamples, err := tcp.OutageRecovery(float64(nAffected)*32, nAffected, 60, outageRounds, recoveryRounds)
+	if err != nil {
+		return nil, err
+	}
+	steady := flowSamples[0].Goodput
+	if steady <= 0 {
+		return nil, fmt.Errorf("update: degenerate TCP steady state")
+	}
+	for i, fs := range flowSamples {
+		if i == 0 {
+			continue // the pre-outage point is already emitted as t=0
+		}
+		t := RouteOpSeconds + float64(fs.Round-1)*rttSeconds
+		samples = append(samples, Sample{
+			T:          t,
+			Throughput: unaffected + affected*fs.Goodput/steady,
+		})
+		// Stop once recovered to steady state.
+		if fs.Round > outageRounds && fs.Goodput >= steady {
+			break
+		}
+	}
+	return samples, nil
+}

@@ -1,0 +1,463 @@
+// Package update schedules cross-layer network updates consistently,
+// extending the Dionysus dependency-graph approach with circuit nodes as
+// described in §3.3 of the paper: creating a circuit consumes a wavelength
+// on each fiber it crosses and removing one frees it; a routing path cannot
+// carry traffic until circuits for all of its links are up; and a circuit
+// cannot be torn down while routed traffic still needs its capacity.
+//
+// The scheduler emits rounds of operations that can safely run in parallel.
+// It also evaluates the throughput timeline during the update, which is the
+// quantity Figure 10(b) compares between consistent and one-shot updates.
+package update
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a single update operation.
+type Op struct {
+	// Kind discriminates the union.
+	Kind OpKind
+	// Link is the network-layer link for circuit ops.
+	Link [2]int
+	// Fibers are the fiber IDs a circuit op touches (consumed on add,
+	// freed on remove).
+	Fibers []int
+	// TransferID, Path and Rate describe route ops. OldRate is the prior
+	// rate for ChangeRoute.
+	TransferID int
+	Path       []int
+	Rate       float64
+	OldRate    float64
+}
+
+// OpKind enumerates operation types.
+type OpKind int
+
+// Operation kinds.
+const (
+	AddCircuit OpKind = iota
+	RemoveCircuit
+	AddRoute
+	RemoveRoute
+	// ChangeRoute adjusts the rate of an existing route in place (rate
+	// limiter update); decreases are always safe, increases wait for
+	// capacity. OldRate holds the prior rate.
+	ChangeRoute
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case AddCircuit:
+		return "add-circuit"
+	case RemoveCircuit:
+		return "remove-circuit"
+	case AddRoute:
+		return "add-route"
+	case RemoveRoute:
+		return "remove-route"
+	case ChangeRoute:
+		return "change-route"
+	}
+	return "unknown"
+}
+
+// Durations of operations in seconds: optical reconfiguration takes
+// seconds ("three to five seconds on our testbed"); rule updates are fast.
+const (
+	CircuitOpSeconds = 4.0
+	RouteOpSeconds   = 0.1
+)
+
+func (o Op) seconds() float64 {
+	if o.Kind == AddCircuit || o.Kind == RemoveCircuit {
+		return CircuitOpSeconds
+	}
+	return RouteOpSeconds
+}
+
+// Round is a set of operations executing in parallel; its duration is the
+// longest operation in it.
+type Round struct {
+	Ops []Op
+}
+
+// Seconds returns the round's wall-clock duration.
+func (r Round) Seconds() float64 {
+	m := 0.0
+	for _, o := range r.Ops {
+		if s := o.seconds(); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Plan is an ordered sequence of rounds.
+type Plan struct {
+	Rounds []Round
+	// ForcedDetours counts routes that had to be temporarily removed to
+	// break a capacity deadlock (Dionysus' rate-reduction fallback).
+	ForcedDetours int
+}
+
+// Seconds returns the total update duration.
+func (p *Plan) Seconds() float64 {
+	t := 0.0
+	for _, r := range p.Rounds {
+		t += r.Seconds()
+	}
+	return t
+}
+
+// NumOps returns the number of operations across rounds.
+func (p *Plan) NumOps() int {
+	n := 0
+	for _, r := range p.Rounds {
+		n += len(r.Ops)
+	}
+	return n
+}
+
+// State describes one side (old or new) of an update.
+type State struct {
+	// Circuits per network-layer link.
+	Circuits map[[2]int]int
+	// CircuitFibers maps a link to the fibers one of its circuits crosses
+	// (used for wavelength accounting; all parallel circuits of a link are
+	// assumed to share the same fiber route, which holds for shortest-path
+	// provisioning).
+	CircuitFibers map[[2]int][]int
+	// Routes carried in this state.
+	Routes []Route
+}
+
+// Route is a rate-carrying path of one transfer.
+type Route struct {
+	TransferID int
+	Path       []int
+	Rate       float64
+}
+
+func routeKey(r Route) string {
+	return fmt.Sprint(r.TransferID, r.Path)
+}
+
+func linkKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func routeLinks(path []int) [][2]int {
+	out := make([][2]int, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		out = append(out, linkKey(path[i], path[i+1]))
+	}
+	return out
+}
+
+// Config parameterizes plan construction.
+type Config struct {
+	// Theta is circuit capacity in Gbps.
+	Theta float64
+	// FiberFree is the number of spare wavelengths per fiber id at the
+	// start of the update (beyond those used by current circuits).
+	FiberFree map[int]int
+}
+
+// BuildPlan computes a consistent round schedule transforming old into new.
+func BuildPlan(cfg Config, oldState, newState *State) (*Plan, error) {
+	if cfg.Theta <= 0 {
+		return nil, fmt.Errorf("update: theta must be positive")
+	}
+	// Pending operations.
+	var pending []Op
+	// Circuit diffs.
+	linkSet := map[[2]int]bool{}
+	for l := range oldState.Circuits {
+		linkSet[l] = true
+	}
+	for l := range newState.Circuits {
+		linkSet[l] = true
+	}
+	links := make([][2]int, 0, len(linkSet))
+	for l := range linkSet {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	fibersOf := func(l [2]int) []int {
+		if f, ok := newState.CircuitFibers[l]; ok {
+			return f
+		}
+		return oldState.CircuitFibers[l]
+	}
+	for _, l := range links {
+		diff := newState.Circuits[l] - oldState.Circuits[l]
+		for i := 0; i < diff; i++ {
+			pending = append(pending, Op{Kind: AddCircuit, Link: l, Fibers: fibersOf(l)})
+		}
+		for i := 0; i < -diff; i++ {
+			pending = append(pending, Op{Kind: RemoveCircuit, Link: l, Fibers: fibersOf(l)})
+		}
+	}
+	// Route diffs (by exact identity).
+	oldRoutes := map[string]Route{}
+	for _, r := range oldState.Routes {
+		oldRoutes[routeKey(r)] = r
+	}
+	newRoutes := map[string]Route{}
+	for _, r := range newState.Routes {
+		newRoutes[routeKey(r)] = r
+	}
+	var routeKeys []string
+	for k := range oldRoutes {
+		routeKeys = append(routeKeys, k)
+	}
+	sort.Strings(routeKeys)
+	for _, k := range routeKeys {
+		r := oldRoutes[k]
+		if n, keep := newRoutes[k]; !keep {
+			pending = append(pending, Op{Kind: RemoveRoute, TransferID: r.TransferID, Path: r.Path, Rate: r.Rate})
+		} else if n.Rate != r.Rate {
+			pending = append(pending, Op{Kind: ChangeRoute, TransferID: r.TransferID, Path: r.Path, Rate: n.Rate, OldRate: r.Rate})
+		}
+	}
+	routeKeys = routeKeys[:0]
+	for k := range newRoutes {
+		routeKeys = append(routeKeys, k)
+	}
+	sort.Strings(routeKeys)
+	for _, k := range routeKeys {
+		if _, had := oldRoutes[k]; !had {
+			r := newRoutes[k]
+			pending = append(pending, Op{Kind: AddRoute, TransferID: r.TransferID, Path: r.Path, Rate: r.Rate})
+		}
+	}
+
+	// Live state during scheduling.
+	circuits := map[[2]int]int{}
+	for l, c := range oldState.Circuits {
+		circuits[l] = c
+	}
+	fiberFree := map[int]int{}
+	for f, n := range cfg.FiberFree {
+		fiberFree[f] = n
+	}
+	load := map[[2]int]float64{}
+	for _, r := range oldState.Routes {
+		for _, l := range routeLinks(r.Path) {
+			load[l] += r.Rate
+		}
+	}
+
+	// removeNeeded reports whether tearing a route down now serves a
+	// purpose: a circuit on its path is waiting to be removed, or pending
+	// route additions need the capacity it occupies. Otherwise the route
+	// keeps carrying traffic (Dionysus removes flow only to make room),
+	// and the teardown lands in the final cleanup round.
+	removeNeeded := func(o Op, pending []Op) bool {
+		needs := map[[2]int]float64{}
+		removals := map[[2]int]bool{}
+		for _, p := range pending {
+			switch p.Kind {
+			case AddRoute:
+				for _, l := range routeLinks(p.Path) {
+					needs[l] += p.Rate
+				}
+			case ChangeRoute:
+				if d := p.Rate - p.OldRate; d > 0 {
+					for _, l := range routeLinks(p.Path) {
+						needs[l] += d
+					}
+				}
+			case RemoveCircuit:
+				removals[p.Link] = true
+			}
+		}
+		for _, l := range routeLinks(o.Path) {
+			if removals[l] {
+				return true
+			}
+			free := float64(circuits[l])*cfg.Theta - load[l]
+			if needs[l] > free+1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+	eligible := func(o Op) bool {
+		switch o.Kind {
+		case RemoveRoute:
+			return true
+		case ChangeRoute:
+			if o.Rate <= o.OldRate {
+				return true
+			}
+			delta := o.Rate - o.OldRate
+			for _, l := range routeLinks(o.Path) {
+				if float64(circuits[l])*cfg.Theta < load[l]+delta-1e-9 {
+					return false
+				}
+			}
+			return true
+		case AddRoute:
+			for _, l := range routeLinks(o.Path) {
+				if float64(circuits[l])*cfg.Theta < load[l]+o.Rate-1e-9 {
+					return false
+				}
+			}
+			return true
+		case RemoveCircuit:
+			l := o.Link
+			return float64(circuits[l]-1)*cfg.Theta >= load[l]-1e-9
+		case AddCircuit:
+			for _, f := range o.Fibers {
+				if fiberFree[f] <= 0 {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	// An op's effects split in two: consumption is applied the moment the
+	// op is selected into a round (so other candidates in the same round
+	// cannot double-book a resource), while releases only become visible
+	// after the round completes (an op must not depend on a parallel op's
+	// freed resource).
+	consume := func(o Op) {
+		switch o.Kind {
+		case AddRoute:
+			for _, l := range routeLinks(o.Path) {
+				load[l] += o.Rate
+			}
+		case ChangeRoute:
+			if d := o.Rate - o.OldRate; d > 0 {
+				for _, l := range routeLinks(o.Path) {
+					load[l] += d
+				}
+			}
+		case RemoveCircuit:
+			circuits[o.Link]--
+		case AddCircuit:
+			for _, f := range o.Fibers {
+				fiberFree[f]--
+			}
+		}
+	}
+	release := func(o Op) {
+		switch o.Kind {
+		case RemoveRoute:
+			for _, l := range routeLinks(o.Path) {
+				load[l] -= o.Rate
+			}
+		case ChangeRoute:
+			if d := o.Rate - o.OldRate; d < 0 {
+				for _, l := range routeLinks(o.Path) {
+					load[l] += d
+				}
+			}
+		case RemoveCircuit:
+			for _, f := range o.Fibers {
+				fiberFree[f]++
+			}
+		case AddCircuit:
+			circuits[o.Link]++
+		}
+	}
+
+	plan := &Plan{}
+	detoured := map[string]bool{}
+	for len(pending) > 0 {
+		var round []Op
+		var rest []Op
+		// Select ops one by one, consuming resources immediately so the
+		// round stays jointly feasible; releases surface after the round.
+		// Route removals are deferred while their traffic can keep
+		// flowing.
+		for _, o := range pending {
+			if o.Kind == RemoveRoute && !removeNeeded(o, pending) {
+				rest = append(rest, o)
+				continue
+			}
+			if eligible(o) {
+				consume(o)
+				round = append(round, o)
+			} else {
+				rest = append(rest, o)
+			}
+		}
+		if len(round) == 0 {
+			// Only deferred route removals left: flush them as the final
+			// cleanup round (their replacement routes are already up).
+			onlyRemovals := len(rest) > 0
+			for _, o := range rest {
+				if o.Kind != RemoveRoute {
+					onlyRemovals = false
+					break
+				}
+			}
+			if onlyRemovals {
+				for _, o := range rest {
+					consume(o)
+				}
+				round, rest = rest, nil
+			}
+		}
+		if len(round) == 0 {
+			// Deadlock: some RemoveCircuit is blocked by persisting route
+			// load, or an AddCircuit waits on wavelengths only freed by such
+			// a removal. Break it with Dionysus' fallback: temporarily
+			// remove a persisting route on the most-blocked link.
+			victim, ok := pickVictim(rest, circuits, load, cfg.Theta, newState, detoured)
+			if !ok {
+				return nil, fmt.Errorf("update: unresolvable deadlock with %d pending ops", len(rest))
+			}
+			plan.ForcedDetours++
+			detoured[routeKey(victim)] = true
+			// Remove now, restore at the very end.
+			pending = append(rest, Op{Kind: AddRoute, TransferID: victim.TransferID, Path: victim.Path, Rate: victim.Rate})
+			round = []Op{{Kind: RemoveRoute, TransferID: victim.TransferID, Path: victim.Path, Rate: victim.Rate}}
+		} else {
+			pending = rest
+		}
+		for _, o := range round {
+			release(o)
+		}
+		plan.Rounds = append(plan.Rounds, Round{Ops: round})
+	}
+	return plan, nil
+}
+
+// pickVictim finds a persisting route to detour: one crossing a link whose
+// RemoveCircuit is blocked.
+func pickVictim(pending []Op, circuits map[[2]int]int, load map[[2]int]float64, theta float64, newState *State, detoured map[string]bool) (Route, bool) {
+	blocked := map[[2]int]bool{}
+	for _, o := range pending {
+		if o.Kind == RemoveCircuit {
+			l := o.Link
+			if float64(circuits[l]-1)*theta < load[l] {
+				blocked[l] = true
+			}
+		}
+	}
+	for _, r := range newState.Routes {
+		if detoured[routeKey(r)] {
+			continue
+		}
+		for _, l := range routeLinks(r.Path) {
+			if blocked[l] && r.Rate > 0 {
+				return r, true
+			}
+		}
+	}
+	return Route{}, false
+}

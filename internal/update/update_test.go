@@ -1,0 +1,370 @@
+package update
+
+import (
+	"math"
+	"testing"
+)
+
+// twoLinkStates builds a simple scenario: link (0,1) loses a circuit, link
+// (0,2) gains one, with a route moving accordingly.
+func twoLinkStates() (*State, *State) {
+	oldS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 2, {0, 2}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {1}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 1}, Rate: 15},
+		},
+	}
+	newS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1, {0, 2}: 2},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {1}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 1}, Rate: 10},
+			{TransferID: 2, Path: []int{0, 2}, Rate: 15},
+		},
+	}
+	return oldS, newS
+}
+
+func cfg() Config {
+	return Config{Theta: 10, FiberFree: map[int]int{0: 5, 1: 5, 2: 5}}
+}
+
+func TestBuildPlanCompletes(t *testing.T) {
+	oldS, newS := twoLinkStates()
+	plan, err := BuildPlan(cfg(), oldS, newS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumOps() < 4 {
+		t.Errorf("ops = %d, want at least remove-circuit, add-circuit, and route changes", plan.NumOps())
+	}
+}
+
+// replay re-executes the plan checking invariants at every step: no link
+// ever carries more load than its live circuits provide, and fiber budgets
+// never go negative.
+func replay(t *testing.T, plan *Plan, oldS *State, c Config) {
+	t.Helper()
+	circuits := map[[2]int]int{}
+	for l, n := range oldS.Circuits {
+		circuits[l] = n
+	}
+	free := map[int]int{}
+	for f, n := range c.FiberFree {
+		free[f] = n
+	}
+	load := map[[2]int]float64{}
+	for _, r := range oldS.Routes {
+		for _, l := range routeLinks(r.Path) {
+			load[l] += r.Rate
+		}
+	}
+	check := func(stage string) {
+		for l, ld := range load {
+			if ld > float64(circuits[l])*c.Theta+1e-6 {
+				t.Fatalf("%s: link %v overloaded: %v > %v circuits", stage, l, ld, circuits[l])
+			}
+		}
+		for f, n := range free {
+			if n < 0 {
+				t.Fatalf("%s: fiber %d wavelength budget negative", stage, f)
+			}
+		}
+	}
+	check("initial")
+	for ri, round := range plan.Rounds {
+		for _, o := range round.Ops {
+			switch o.Kind {
+			case RemoveRoute:
+				for _, l := range routeLinks(o.Path) {
+					load[l] -= o.Rate
+				}
+			case AddRoute:
+				for _, l := range routeLinks(o.Path) {
+					load[l] += o.Rate
+				}
+			case ChangeRoute:
+				for _, l := range routeLinks(o.Path) {
+					load[l] += o.Rate - o.OldRate
+				}
+			case RemoveCircuit:
+				circuits[o.Link]--
+				for _, f := range o.Fibers {
+					free[f]++
+				}
+			case AddCircuit:
+				circuits[o.Link]++
+				for _, f := range o.Fibers {
+					free[f]--
+				}
+			}
+		}
+		check("after round")
+		_ = ri
+	}
+}
+
+func TestPlanInvariants(t *testing.T) {
+	oldS, newS := twoLinkStates()
+	plan, err := BuildPlan(cfg(), oldS, newS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, plan, oldS, cfg())
+}
+
+func TestWavelengthDependency(t *testing.T) {
+	// Fiber 0 has no spare wavelength: the AddCircuit on it must wait for
+	// the RemoveCircuit that frees one.
+	oldS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {0}},
+		Routes:        nil,
+	}
+	newS := &State{
+		Circuits:      map[[2]int]int{{0, 2}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {0}},
+		Routes:        nil,
+	}
+	c := Config{Theta: 10, FiberFree: map[int]int{0: 0}}
+	plan, err := BuildPlan(c, oldS, newS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The remove must come in an earlier round than the add.
+	removeRound, addRound := -1, -1
+	for i, r := range plan.Rounds {
+		for _, o := range r.Ops {
+			if o.Kind == RemoveCircuit {
+				removeRound = i
+			}
+			if o.Kind == AddCircuit {
+				addRound = i
+			}
+		}
+	}
+	if removeRound < 0 || addRound < 0 || removeRound >= addRound {
+		t.Errorf("remove in round %d, add in round %d: add must wait for freed wavelength", removeRound, addRound)
+	}
+	replay(t, plan, oldS, c)
+}
+
+func TestRouteWaitsForCircuit(t *testing.T) {
+	// New route needs a new link: the AddRoute must come after AddCircuit.
+	oldS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {1, 2}: {1}},
+	}
+	newS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1, {1, 2}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {1, 2}: {1}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 1, 2}, Rate: 10},
+		},
+	}
+	plan, err := BuildPlan(cfg(), oldS, newS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuitRound, routeRound := -1, -1
+	for i, r := range plan.Rounds {
+		for _, o := range r.Ops {
+			if o.Kind == AddCircuit {
+				circuitRound = i
+			}
+			if o.Kind == AddRoute {
+				routeRound = i
+			}
+		}
+	}
+	if circuitRound < 0 || routeRound < 0 || circuitRound >= routeRound {
+		t.Errorf("circuit round %d, route round %d: route must wait", circuitRound, routeRound)
+	}
+}
+
+func TestInfeasibleTargetRefused(t *testing.T) {
+	// Link (0,1) shrinks from 2 to 1 circuits but the new state still
+	// routes 15 > 10 over it: the target itself is infeasible, and after
+	// the detour fallback exhausts its options the scheduler must refuse
+	// rather than emit an oversubscribed plan.
+	oldS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 2},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {0}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 1}, Rate: 15},
+		},
+	}
+	newS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1, {0, 2}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {0}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 1}, Rate: 15}, // still 15: infeasible on 1 circuit
+		},
+	}
+	c := Config{Theta: 10, FiberFree: map[int]int{0: 0}}
+	if _, err := BuildPlan(c, oldS, newS); err == nil {
+		t.Error("infeasible target state must be refused")
+	}
+}
+
+func TestMigrationNeedsNoDetour(t *testing.T) {
+	// A feasible migration — route moves from (0,1) to (0,2), wavelength
+	// freed by the circuit teardown — schedules without forced detours:
+	// remove route, remove circuit, add circuit, add route, in dependency
+	// order.
+	oldS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {0}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 1}, Rate: 8},
+		},
+	}
+	newS := &State{
+		Circuits:      map[[2]int]int{{0, 2}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {0}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 2}, Rate: 8},
+		},
+	}
+	c := Config{Theta: 10, FiberFree: map[int]int{0: 0}}
+	plan, err := BuildPlan(c, oldS, newS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ForcedDetours != 0 {
+		t.Errorf("feasible migration used %d forced detours", plan.ForcedDetours)
+	}
+	replay(t, plan, oldS, c)
+	if got := len(plan.Rounds); got < 4 {
+		t.Errorf("rounds = %d, want >= 4 (strictly serialized dependency chain)", got)
+	}
+}
+
+func TestConsistentTimelineNoDip(t *testing.T) {
+	// A topology change where every moved route has an alternative: the
+	// consistent plan should never drop below the old throughput minus the
+	// routes being migrated (here: route moves after its circuit is up, so
+	// only the brief remove/add gap shows; with disjoint links there is no
+	// dip at all).
+	oldS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1, {0, 2}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {1}, {1, 2}: {2}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 1}, Rate: 10},
+			{TransferID: 2, Path: []int{0, 2}, Rate: 10},
+		},
+	}
+	newS := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1, {0, 2}: 1, {1, 2}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}, {0, 2}: {1}, {1, 2}: {2}},
+		Routes: []Route{
+			{TransferID: 1, Path: []int{0, 1}, Rate: 10},
+			{TransferID: 2, Path: []int{0, 2}, Rate: 10},
+			{TransferID: 3, Path: []int{1, 2}, Rate: 10},
+		},
+	}
+	plan, err := BuildPlan(cfg(), oldS, newS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := plan.Timeline(oldS)
+	if MinThroughput(tl) < 20-1e-9 {
+		t.Errorf("consistent update dipped to %v, want >= 20", MinThroughput(tl))
+	}
+	// One-shot: route 3 crosses the changed link (1,2) and cannot carry
+	// during reconfiguration; existing routes keep flowing, so throughput
+	// during the window is 20 of an eventual 30.
+	os := OneShotTimeline(oldS, newS)
+	if MinThroughput(os) > 20+1e-9 {
+		t.Errorf("one-shot min = %v, expected the dip to 20", MinThroughput(os))
+	}
+	if last := os[len(os)-1].Throughput; math.Abs(last-30) > 1e-9 {
+		t.Errorf("one-shot final = %v, want 30", last)
+	}
+}
+
+func TestOneShotDipsBelowConsistent(t *testing.T) {
+	// Migrating a route between links: one-shot drops it during the window.
+	oldS, newS := twoLinkStates()
+	plan, err := BuildPlan(cfg(), oldS, newS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := MinThroughput(plan.Timeline(oldS))
+	oneShot := MinThroughput(OneShotTimeline(oldS, newS))
+	if oneShot >= cons {
+		t.Errorf("one-shot min %v should be below consistent min %v", oneShot, cons)
+	}
+}
+
+func TestEmptyUpdate(t *testing.T) {
+	oldS, _ := twoLinkStates()
+	plan, err := BuildPlan(cfg(), oldS, oldS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumOps() != 0 || plan.Seconds() != 0 {
+		t.Errorf("no-op update should be empty, got %d ops", plan.NumOps())
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	oldS, newS := twoLinkStates()
+	if _, err := BuildPlan(Config{Theta: 0}, oldS, newS); err == nil {
+		t.Error("zero theta should be rejected")
+	}
+}
+
+func TestOneShotTCPTimeline(t *testing.T) {
+	oldS, newS := twoLinkStates()
+	samples, err := OneShotTCPTimeline(oldS, newS, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 3 {
+		t.Fatalf("too few samples: %d", len(samples))
+	}
+	// The TCP dip is at least as deep as the fluid one-shot dip, and
+	// recovery is gradual: strictly increasing tail after the window.
+	fluid := MinThroughput(OneShotTimeline(oldS, newS))
+	if m := MinThroughput(samples); m > fluid+1e-9 {
+		t.Errorf("tcp min %v should be <= fluid one-shot min %v", m, fluid)
+	}
+	// Find a post-window sample still below the final level: gradual ramp.
+	final := samples[len(samples)-1].Throughput
+	gradual := false
+	for _, s := range samples {
+		if s.T > CircuitOpSeconds && s.Throughput < 0.95*final {
+			gradual = true
+			break
+		}
+	}
+	if !gradual {
+		t.Error("expected a gradual TCP recovery after the dark window")
+	}
+}
+
+func TestOneShotTCPNoAffectedRoutes(t *testing.T) {
+	st := &State{
+		Circuits:      map[[2]int]int{{0, 1}: 1},
+		CircuitFibers: map[[2]int][]int{{0, 1}: {0}},
+		Routes:        []Route{{TransferID: 1, Path: []int{0, 1}, Rate: 10}},
+	}
+	samples, err := OneShotTCPTimeline(st, st, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Throughput != 10 {
+			t.Errorf("no-op update should keep throughput at 10, got %v", s.Throughput)
+		}
+	}
+}
+
+func TestOneShotTCPRejectsBadRTT(t *testing.T) {
+	oldS, newS := twoLinkStates()
+	if _, err := OneShotTCPTimeline(oldS, newS, 0); err == nil {
+		t.Error("zero rtt accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"owan/internal/transfer"
+)
+
+// Trace is a serializable transfer workload: the synthetic stand-in for
+// the router-counter traces the paper collects, in a replayable form so
+// experiments can be repeated bit-for-bit or edited by hand.
+type Trace struct {
+	// Description is free-form provenance (generator config, date).
+	Description string             `json:"description,omitempty"`
+	Requests    []transfer.Request `json:"requests"`
+}
+
+// WriteTrace serializes a trace as indented JSON.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadTrace parses and validates a trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := new(Trace)
+	if err := json.Unmarshal(b, tr); err != nil {
+		return nil, fmt.Errorf("workload: parse trace: %w", err)
+	}
+	seen := map[int]bool{}
+	for i, req := range tr.Requests {
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: trace request %d: %w", i, err)
+		}
+		if seen[req.ID] {
+			return nil, fmt.Errorf("workload: duplicate transfer id %d", req.ID)
+		}
+		seen[req.ID] = true
+	}
+	return tr, nil
+}

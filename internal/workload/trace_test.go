@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"owan/internal/transfer"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	reqs, err := Generate(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{Description: "unit test", Requests: reqs}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Description != "unit test" || len(back.Requests) != len(reqs) {
+		t.Fatalf("header mismatch: %q %d", back.Description, len(back.Requests))
+	}
+	for i := range reqs {
+		if back.Requests[i] != reqs[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestReadTraceValidates(t *testing.T) {
+	bad := `{"requests":[{"ID":0,"Src":1,"Dst":1,"SizeGbits":10,"Arrival":0,"Deadline":-1}]}`
+	if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+		t.Error("src==dst request accepted")
+	}
+	dup := `{"requests":[
+	  {"ID":0,"Src":0,"Dst":1,"SizeGbits":10,"Arrival":0,"Deadline":-1},
+	  {"ID":0,"Src":1,"Dst":2,"SizeGbits":10,"Arrival":0,"Deadline":-1}]}`
+	if _, err := ReadTrace(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestTraceEmptyOK(t *testing.T) {
+	tr, err := ReadTrace(strings.NewReader(`{"requests":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 0 {
+		t.Error("expected empty trace")
+	}
+	_ = transfer.Request{}
+}
