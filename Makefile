@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The annealing engine evaluates energies on a worker pool; run the whole
+# internal tree under the race detector so any shared-state regression in
+# the concurrent code is caught before it ships.
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# check is the tier-1 gate: clean build, vet, full tests, race-detected
+# internal tests.
+check: build vet test race

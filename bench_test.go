@@ -7,12 +7,14 @@ package owan
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"owan/internal/alloc"
 	"owan/internal/core"
 	"owan/internal/experiments"
 	"owan/internal/figdata"
+	"owan/internal/metrics"
 	"owan/internal/topology"
 	"owan/internal/transfer"
 	"owan/internal/workload"
@@ -242,6 +244,62 @@ func BenchmarkFailureRecovery(b *testing.B) {
 		if swan > 0 {
 			b.ReportMetric(owan/swan, "x-postfailure-goodput")
 		}
+	}
+}
+
+// --- Parallel annealing engine (ISSUE 1 tentpole) ---
+
+// benchAnneal measures raw annealing throughput (iterations per second) on
+// the full 40-site ISP topology. Serial and parallel runs share BatchSize
+// so they walk the identical chain; only evaluation concurrency differs.
+// MaxChurn is disabled so every iteration pays a full energy evaluation
+// (churn-rejected moves are nearly free and would mask the speedup).
+func benchAnneal(b *testing.B, workers int) {
+	net := topology.ISP(40, 10, 1)
+	ts := ablationWorkload(b, net)
+	cfg := core.Config{
+		Net: net, Policy: transfer.SJF, Seed: 11,
+		MaxIterations: 160, BatchSize: 8, Workers: workers, MaxChurn: -1,
+	}
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		o := core.New(cfg)
+		st := o.ComputeNetworkState(topology.InitialTopology(net), ts, 0, experiments.SlotSeconds)
+		iters += st.Stats.Iterations
+	}
+	b.ReportMetric(float64(iters)/b.Elapsed().Seconds(), "anneal-iters/s")
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+}
+
+func BenchmarkAnnealSerial(b *testing.B)   { benchAnneal(b, 1) }
+func BenchmarkAnnealParallel(b *testing.B) { benchAnneal(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkAnnealMemoized shows what the energy cache buys on a small
+// topology whose swap moves frequently revisit states while cooling.
+func BenchmarkAnnealMemoized(b *testing.B) {
+	net := topology.Internet2(8)
+	ts := ablationWorkload(b, net)
+	for _, cacheSize := range []int{0, 4096} {
+		name := "off"
+		if cacheSize > 0 {
+			name = "on"
+		}
+		b.Run("cache-"+name, func(b *testing.B) {
+			cfg := core.Config{
+				Net: net, Policy: transfer.SJF, Seed: 11,
+				MaxIterations: 400, MaxChurn: -1, EnergyCacheSize: cacheSize,
+			}
+			b.ResetTimer()
+			hits, misses := 0, 0
+			for i := 0; i < b.N; i++ {
+				o := core.New(cfg)
+				st := o.ComputeNetworkState(topology.InitialTopology(net), ts, 0, experiments.SlotSeconds)
+				hits += st.Stats.CacheHits
+				misses += st.Stats.CacheMisses
+			}
+			b.ReportMetric(100*metrics.ComputeSearchEfficiency(hits, misses, nil).HitRate, "cache-hit-%")
+		})
 	}
 }
 

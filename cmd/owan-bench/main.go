@@ -27,10 +27,12 @@ import (
 
 func main() {
 	var (
-		full   = flag.Bool("full", false, "run at paper scale (slower)")
-		figSel = flag.String("fig", "all", "figure to run: fig7|fig8|fig9|fig10a|fig10b|fig10c|fig10d|validation|failure|all")
-		topo   = flag.String("topo", "all", "topology for fig7/8/9: internet2|isp|interdc|all")
-		outdir = flag.String("outdir", "", "directory for per-figure data files (optional)")
+		full    = flag.Bool("full", false, "run at paper scale (slower)")
+		figSel  = flag.String("fig", "all", "figure to run: fig7|fig8|fig9|fig10a|fig10b|fig10c|fig10d|validation|failure|all")
+		topo    = flag.String("topo", "all", "topology for fig7/8/9: internet2|isp|interdc|all")
+		outdir  = flag.String("outdir", "", "directory for per-figure data files (optional)")
+		workers = flag.Int("workers", 0, "annealing energy-evaluation goroutines (0 = serial; see core.Config.Workers)")
+		cache   = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
 	)
 	flag.Parse()
 
@@ -38,6 +40,8 @@ func main() {
 	if *full {
 		sc = experiments.FullScale()
 	}
+	sc.OwanWorkers = *workers
+	sc.OwanEnergyCache = *cache
 	topos := experiments.AllTopos
 	if *topo != "all" {
 		topos = []experiments.TopoKind{experiments.TopoKind(*topo)}

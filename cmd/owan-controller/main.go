@@ -19,17 +19,21 @@ import (
 
 	"owan/internal/controlplane"
 	"owan/internal/core"
+	"owan/internal/metrics"
 	"owan/internal/topology"
 	"owan/internal/transfer"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:9200", "listen address")
-		kind   = flag.String("topo", "internet2", "topology: internet2|isp|interdc")
-		ports  = flag.Int("ports", 10, "router ports per site")
-		slot   = flag.Duration("slot", 5*time.Second, "slot duration (paper: 5m; demos use seconds)")
-		seed   = flag.Int64("seed", 1, "annealing seed")
+		listen  = flag.String("listen", "127.0.0.1:9200", "listen address")
+		kind    = flag.String("topo", "internet2", "topology: internet2|isp|interdc")
+		ports   = flag.Int("ports", 10, "router ports per site")
+		slot    = flag.Duration("slot", 5*time.Second, "slot duration (paper: 5m; demos use seconds)")
+		seed    = flag.Int64("seed", 1, "annealing seed")
+		workers = flag.Int("workers", 0, "energy-evaluation goroutines (0 = serial; results identical for a seed either way)")
+		batch   = flag.Int("batch", 0, "candidate batch per temperature step (0 = workers; part of the search semantics)")
+		cache   = flag.Int("cache", 0, "energy memoization cache entries (0 = off)")
 	)
 	flag.Parse()
 
@@ -47,6 +51,7 @@ func main() {
 
 	ctrl, err := controlplane.NewController(core.Config{
 		Net: nw, Policy: transfer.SJF, Seed: *seed,
+		Workers: *workers, BatchSize: *batch, EnergyCacheSize: *cache,
 	}, slot.Seconds(), nil)
 	if err != nil {
 		log.Fatal(err)
@@ -69,8 +74,11 @@ func main() {
 		case <-tick.C:
 			st := ctrl.Tick()
 			up := ctrl.LastUpdatePlan()
-			log.Printf("slot %d: energy %.1f Gbps (from %.1f), %d SA iterations, churn %d, update %d ops/%d rounds, completed %d",
-				ctrl.Slot()-1, st.BestEnergy, st.InitialEnergy, st.Iterations, st.Churn, up.Ops, up.Rounds, ctrl.Completed())
+			eff := metrics.ComputeSearchEfficiency(st.CacheHits, st.CacheMisses, st.WorkerEvals)
+			log.Printf("slot %d: energy %.1f Gbps (from %.1f), %d SA iterations (%d evals, cache %.0f%%, pool balance %.2f), churn %d, update %d ops/%d rounds, completed %d",
+				ctrl.Slot()-1, st.BestEnergy, st.InitialEnergy, st.Iterations,
+				eff.Evaluations, 100*eff.HitRate, eff.WorkerBalance,
+				st.Churn, up.Ops, up.Rounds, ctrl.Completed())
 		case <-sig:
 			fmt.Println("\nshutting down")
 			ctrl.Close()

@@ -32,6 +32,8 @@ func main() {
 		full     = flag.Bool("full", false, "paper-scale parameters")
 		traceIn  = flag.String("trace", "", "replay transfer requests from a JSON trace file")
 		traceOut = flag.String("save-trace", "", "write the generated workload to a JSON trace file")
+		workers  = flag.Int("workers", 0, "annealing energy-evaluation goroutines (0 = serial)")
+		cache    = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
 	)
 	flag.Parse()
 
@@ -39,6 +41,8 @@ func main() {
 	if *full {
 		sc = experiments.FullScale()
 	}
+	sc.OwanWorkers = *workers
+	sc.OwanEnergyCache = *cache
 	var reqs []transfer.Request
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)

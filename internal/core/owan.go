@@ -58,6 +58,24 @@ type Config struct {
 	// topologies whose wholesale reconfiguration costs more than the
 	// throughput gain. Negative disables the bound; 0 selects the default.
 	MaxChurn int
+	// Workers is the number of goroutines evaluating candidate energies
+	// concurrently, each owning a cloned optical.State. 0 or 1 evaluates
+	// inline on the controller's own state (the pre-parallel behavior).
+	// Workers only changes wall-clock time, never the result: the search
+	// trajectory is a pure function of (Seed, BatchSize).
+	Workers int
+	// BatchSize is how many candidate neighbors are generated per
+	// temperature batch and evaluated together (the paper's Figure 10d
+	// knob is wall-clock per slot; batching buys more evaluations per
+	// second). 0 defaults to max(Workers, 1), so serial configurations
+	// keep the one-candidate-at-a-time chain. BatchSize is part of the
+	// search semantics: changing it changes the trajectory.
+	BatchSize int
+	// EnergyCacheSize bounds the per-search energy memoization cache in
+	// entries (2-circuit swaps frequently revisit topologies while
+	// cooling). 0 disables caching. The cache never changes results —
+	// only whether an energy is recomputed.
+	EnergyCacheSize int
 	// Seed makes the probabilistic search reproducible.
 	Seed int64
 }
@@ -91,6 +109,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxChurn == 0 {
 		c.MaxChurn = DefaultMaxChurn
 	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = c.Workers
+	}
 	return c
 }
 
@@ -104,6 +128,14 @@ type SearchStats struct {
 	// returned topology.
 	Churn   int
 	Elapsed time.Duration
+	// CacheHits counts candidate energies served from the memoization
+	// cache; CacheMisses counts full energy evaluations (with the cache
+	// disabled every evaluated candidate is a miss).
+	CacheHits   int
+	CacheMisses int
+	// WorkerEvals[i] is how many energies evaluator worker i computed
+	// (one slot for serial runs). Its spread shows pool utilization.
+	WorkerEvals []int
 }
 
 // NetworkState is the controller's output for one slot: the target
@@ -123,6 +155,9 @@ type Owan struct {
 	cfg Config
 	opt *optical.State
 	rng *rand.Rand
+	// onCacheHit, when set (tests), observes every energy-cache hit with
+	// the candidate topology and the energy the cache returned.
+	onCacheHit func(s *topology.LinkSet, energy float64)
 }
 
 // New creates a controller core for a network.
@@ -259,6 +294,16 @@ func canonEq(a, b, c, d int) bool {
 // ComputeNetworkState runs the simulated-annealing search (Algorithm 1)
 // starting from the current topology and returns the best state found
 // together with the optical plan and the final allocation.
+//
+// The search proceeds in batches: per temperature step it generates up to
+// Config.BatchSize candidate neighbors of the current state, evaluates
+// their energies (concurrently when Config.Workers > 1, with memoization
+// when Config.EnergyCacheSize > 0), and then reduces the batch in fixed
+// generation order with the standard Metropolis acceptance rule. Candidate
+// generation and acceptance share the single seeded RNG on this goroutine,
+// so for a given (Seed, BatchSize) the result is bit-identical regardless
+// of Workers or GOMAXPROCS. With BatchSize 1 the chain is exactly the
+// classic serial annealing loop.
 func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer.Transfer, slot int, slotSeconds float64) *NetworkState {
 	start := time.Now()
 	demands := o.demands(active, slot, slotSeconds)
@@ -281,8 +326,15 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 		deadline = start.Add(o.cfg.TimeBudget)
 	}
 
+	ev := newEvaluator(o, demands)
+	defer ev.close()
+
 	T0 := T
-	for iter := 0; iter < o.cfg.MaxIterations; iter++ {
+	cands := make([]*topology.LinkSet, 0, o.cfg.BatchSize)
+	needEval := make([]bool, 0, o.cfg.BatchSize)
+	var energies []float64
+	stop := false
+	for !stop && stats.Iterations < o.cfg.MaxIterations {
 		if T <= epsilon {
 			if deadline.IsZero() {
 				break
@@ -296,28 +348,63 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
-		stats.Iterations++
-		sN := o.ComputeNeighbor(sCur)
-		if sN == nil {
+
+		// Generate the batch. Every candidate is a full topology derived
+		// from the same sCur; candidates outside the churn trust region
+		// around the slot's starting topology are rejected without an
+		// energy evaluation (the move would not be deployable as an
+		// incremental update) but still consume an iteration and a cooling
+		// step, exactly like the serial chain.
+		k := o.cfg.BatchSize
+		if rem := o.cfg.MaxIterations - stats.Iterations; k > rem {
+			k = rem
+		}
+		cands = cands[:0]
+		needEval = needEval[:0]
+		for len(cands) < k {
+			sN := o.ComputeNeighbor(sCur)
+			if sN == nil {
+				stop = true
+				break
+			}
+			cands = append(cands, sN)
+			needEval = append(needEval, !(o.cfg.MaxChurn > 0 && current.Diff(sN) > o.cfg.MaxChurn))
+		}
+		if len(cands) == 0 {
 			break
 		}
-		if o.cfg.MaxChurn > 0 && current.Diff(sN) > o.cfg.MaxChurn {
-			// Outside the trust region around the slot's starting topology:
-			// reject without evaluating (the move would not be deployable
-			// as an incremental update), and keep cooling.
+		energies = ev.energies(cands, needEval, energies)
+
+		// Deterministic reduction: walk the batch in generation order,
+		// applying acceptance against the evolving current state. An
+		// accepted candidate replaces sCur for the rest of the batch even
+		// though later candidates were generated from the older state —
+		// they are complete topologies, so adopting them stays valid.
+		for i, sN := range cands {
+			stats.Iterations++
+			if !needEval[i] {
+				T *= o.cfg.Alpha
+				continue
+			}
+			eN := energies[i]
+			if eN > eBest {
+				sBest, eBest = sN, eN
+			}
+			if accept(eCur, eN, T, o.rng) {
+				sCur, eCur = sN, eN
+				stats.Accepted++
+			}
 			T *= o.cfg.Alpha
-			continue
+			if T <= epsilon {
+				if deadline.IsZero() {
+					stop = true
+					break
+				}
+				T = T0
+			}
 		}
-		eN := o.Energy(sN, demands)
-		if eN > eBest {
-			sBest, eBest = sN, eN
-		}
-		if accept(eCur, eN, T, o.rng) {
-			sCur, eCur = sN, eN
-			stats.Accepted++
-		}
-		T *= o.cfg.Alpha
 	}
+	ev.finish(&stats)
 
 	plan := o.opt.ProvisionTopology(sBest)
 	eff := plan.Effective(sBest.N)

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"container/list"
+
+	"owan/internal/alloc"
+	"owan/internal/optical"
+	"owan/internal/topology"
+)
+
+// This file implements the batch evaluation machinery behind the annealing
+// search: a worker pool where every worker owns a cloned optical.State (so
+// ProvisionTopology never shares mutable state across goroutines) and an LRU
+// energy memoization cache keyed by topology.LinkSet.Key().
+//
+// Determinism contract: the search trajectory is a pure function of
+// (Config.Seed, Config.BatchSize). Neighbor generation and acceptance both
+// happen on the coordinating goroutine using the single seeded RNG; workers
+// only compute energies, which are pure functions of (topology, demands) and
+// therefore identical no matter which goroutine computes them or in which
+// order results arrive. Workers and GOMAXPROCS never change the result.
+
+// energyCache is an LRU map from canonical topology keys to energies. It is
+// only ever touched by the coordinating goroutine, so it needs no locking.
+// Energies depend on the demand set, which changes every slot, so the cache
+// lives for one ComputeNetworkState invocation.
+type energyCache struct {
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key    string
+	energy float64
+}
+
+func newEnergyCache(capacity int) *energyCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &energyCache{cap: capacity, m: make(map[string]*list.Element, capacity), ll: list.New()}
+}
+
+func (c *energyCache) get(key string) (float64, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(cacheEntry).energy, true
+}
+
+func (c *energyCache) put(key string, energy float64) {
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = cacheEntry{key: key, energy: energy}
+		return
+	}
+	c.m[key] = c.ll.PushFront(cacheEntry{key: key, energy: energy})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(cacheEntry).key)
+	}
+}
+
+// evalJob asks a worker to compute the energy of candidate cands[idx].
+type evalJob struct {
+	idx int
+	s   *topology.LinkSet
+}
+
+type evalResult struct {
+	idx    int
+	energy float64
+}
+
+// evaluator computes candidate energies for one search invocation, either
+// inline on the controller's own optical state (workers <= 1) or on a pool
+// of workers with cloned states.
+type evaluator struct {
+	o       *Owan
+	demands []alloc.Demand
+	workers int
+	cache   *energyCache
+
+	jobs    chan evalJob
+	results chan evalResult
+	done    chan struct{}
+
+	hits, misses int
+	evals        []int // energy computations per worker slot
+	closed       bool
+
+	// pending reuses the per-batch job buffer across batches.
+	pending []evalJob
+}
+
+// newEvaluator starts the pool. With workers <= 1 no goroutines are spawned
+// and evaluation runs inline, which is exactly the pre-parallel engine.
+func newEvaluator(o *Owan, demands []alloc.Demand) *evaluator {
+	ev := &evaluator{
+		o:       o,
+		demands: demands,
+		workers: o.cfg.Workers,
+		cache:   newEnergyCache(o.cfg.EnergyCacheSize),
+	}
+	if ev.workers < 1 {
+		ev.workers = 1
+	}
+	ev.evals = make([]int, ev.workers)
+	if ev.workers > 1 {
+		ev.jobs = make(chan evalJob, o.cfg.BatchSize)
+		ev.results = make(chan evalResult, o.cfg.BatchSize)
+		ev.done = make(chan struct{})
+		for w := 0; w < ev.workers; w++ {
+			go ev.worker(w, o.opt.Clone())
+		}
+	}
+	return ev
+}
+
+// worker evaluates jobs on its private optical state until the pool closes.
+func (ev *evaluator) worker(id int, opt *optical.State) {
+	theta := ev.o.cfg.Net.ThetaGbps
+	for {
+		select {
+		case job := <-ev.jobs:
+			plan := opt.ProvisionTopology(job.s)
+			eff := plan.Effective(job.s.N)
+			ev.evals[id]++ // exclusive slot; read by coordinator after the batch barrier
+			ev.results <- evalResult{idx: job.idx, energy: alloc.Throughput(eff, theta, ev.demands)}
+		case <-ev.done:
+			return
+		}
+	}
+}
+
+// energies returns the energy of every candidate with needEval[i] set; other
+// slots are left at zero. Cache lookups and fills happen here on the
+// coordinating goroutine, so a batch containing a previously seen topology
+// costs no evaluation at all.
+func (ev *evaluator) energies(cands []*topology.LinkSet, needEval []bool, out []float64) []float64 {
+	if cap(out) < len(cands) {
+		out = make([]float64, len(cands))
+	}
+	out = out[:len(cands)]
+	for i := range out {
+		out[i] = 0
+	}
+	ev.pending = ev.pending[:0]
+	var keys []string
+	if ev.cache != nil {
+		keys = make([]string, len(cands))
+	}
+	for i, s := range cands {
+		if !needEval[i] {
+			continue
+		}
+		if ev.cache != nil {
+			keys[i] = s.Key()
+			if e, ok := ev.cache.get(keys[i]); ok {
+				ev.hits++
+				out[i] = e
+				if ev.o.onCacheHit != nil {
+					ev.o.onCacheHit(s, e)
+				}
+				continue
+			}
+		}
+		ev.pending = append(ev.pending, evalJob{idx: i, s: s})
+	}
+	ev.misses += len(ev.pending)
+	if ev.workers <= 1 {
+		for _, job := range ev.pending {
+			out[job.idx] = ev.o.Energy(job.s, ev.demands)
+			ev.evals[0]++
+		}
+	} else {
+		for _, job := range ev.pending {
+			ev.jobs <- job
+		}
+		for range ev.pending {
+			r := <-ev.results
+			out[r.idx] = r.energy
+		}
+	}
+	if ev.cache != nil {
+		for _, job := range ev.pending {
+			ev.cache.put(keys[job.idx], out[job.idx])
+		}
+	}
+	return out
+}
+
+// finish stops the workers and copies the counters into stats.
+func (ev *evaluator) finish(stats *SearchStats) {
+	ev.close()
+	stats.CacheHits = ev.hits
+	stats.CacheMisses = ev.misses
+	stats.WorkerEvals = append([]int(nil), ev.evals...)
+}
+
+// close stops the worker pool; it is idempotent.
+func (ev *evaluator) close() {
+	if ev.closed {
+		return
+	}
+	ev.closed = true
+	if ev.done != nil {
+		close(ev.done)
+	}
+}

@@ -47,6 +47,13 @@ type Scale struct {
 	OwanIterations int
 	// Seeds is the number of workload seeds averaged per data point.
 	Seeds int
+	// OwanWorkers is the parallelism degree of the annealing energy
+	// evaluation (0 or 1 = serial; results are identical either way, only
+	// wall-clock changes — see core.Config.Workers).
+	OwanWorkers int
+	// OwanEnergyCache bounds the per-search energy memoization cache in
+	// entries (0 disables).
+	OwanEnergyCache int
 }
 
 // FullScale is the paper-faithful configuration.
@@ -138,12 +145,14 @@ func Scheduler(name string, net *topology.Network, sc Scale, deadlines bool, see
 	}
 	mkOwan := func() *core.Owan {
 		return core.New(core.Config{
-			Net:           net,
-			Policy:        policy,
-			StarveSlots:   core.DefaultStarveSlots,
-			MaxIterations: sc.OwanIterations,
-			TimeBudget:    budget,
-			Seed:          seed,
+			Net:             net,
+			Policy:          policy,
+			StarveSlots:     core.DefaultStarveSlots,
+			MaxIterations:   sc.OwanIterations,
+			TimeBudget:      budget,
+			Workers:         sc.OwanWorkers,
+			EnergyCacheSize: sc.OwanEnergyCache,
+			Seed:            seed,
 		})
 	}
 	switch name {

@@ -1,0 +1,97 @@
+package optical
+
+import (
+	"sync"
+	"testing"
+
+	"owan/internal/topology"
+)
+
+func TestCloneIsIndependent(t *testing.T) {
+	net := topology.Internet2(8)
+	s := NewState(net)
+	if _, err := s.Provision(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if c.Circuits() != s.Circuits() {
+		t.Fatalf("clone has %d circuits, want %d", c.Circuits(), s.Circuits())
+	}
+
+	// Mutating the clone must not leak into the original.
+	before := make(map[int]int)
+	for _, f := range net.Fibers {
+		before[f.ID] = s.WavelengthsUsed(f.ID)
+	}
+	regenBefore := make([]int, net.NumSites())
+	for v := range regenBefore {
+		regenBefore[v] = s.RegenFree(v)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Provision(2, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Reset()
+	for _, f := range net.Fibers {
+		if got := s.WavelengthsUsed(f.ID); got != before[f.ID] {
+			t.Fatalf("fiber %d: original wavelength use changed %d -> %d", f.ID, before[f.ID], got)
+		}
+	}
+	for v := range regenBefore {
+		if got := s.RegenFree(v); got != regenBefore[v] {
+			t.Fatalf("site %d: original regen pool changed %d -> %d", v, regenBefore[v], got)
+		}
+	}
+	if _, ok := s.Circuit(0); !ok {
+		t.Error("original lost its circuit after clone Reset")
+	}
+}
+
+func TestClonesProvisionIdentically(t *testing.T) {
+	net := topology.ISP(20, 6, 3)
+	base := NewState(net)
+	ls := topology.InitialTopology(net)
+
+	want := base.ProvisionTopology(ls)
+	clone := base.Clone()
+	got := clone.ProvisionTopology(ls)
+	if len(want.Links) != len(got.Links) {
+		t.Fatalf("plan size differs: %d vs %d", len(want.Links), len(got.Links))
+	}
+	for i := range want.Links {
+		w, g := want.Links[i], got.Links[i]
+		if w.U != g.U || w.V != g.V || w.Built != g.Built {
+			t.Fatalf("link %d differs: %+v vs %+v", i, w, g)
+		}
+	}
+}
+
+func TestClonesAreConcurrencySafe(t *testing.T) {
+	net := topology.ISP(15, 6, 3)
+	base := NewState(net)
+	ls := topology.InitialTopology(net)
+	want := base.ProvisionTopology(ls).TotalBuilt()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := base.Clone()
+			for i := 0; i < 20; i++ {
+				if got := c.ProvisionTopology(ls).TotalBuilt(); got != want {
+					errs <- "clone provisioned a different circuit count"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -161,6 +161,36 @@ func NewState(net *topology.Network) *State {
 	return s
 }
 
+// Clone returns an independent copy of the optical state: mutable occupancy
+// (wavelength bitsets, regenerator pools, live circuits) is deep-copied,
+// while the immutable precomputed fiber-layer route tables are shared with
+// the receiver. A clone may provision and release circuits concurrently with
+// other clones, which is what the parallel annealing engine's worker pool in
+// internal/core relies on: each worker owns a clone and evaluates candidate
+// topologies without touching shared mutable state.
+func (s *State) Clone() *State {
+	c := &State{
+		net:              s.net,
+		fiberUse:         make(map[int]waveSet, len(s.fiberUse)),
+		fiberByID:        s.fiberByID,
+		regenFree:        append([]int(nil), s.regenFree...),
+		circuits:         make(map[int]*Circuit, len(s.circuits)),
+		nextID:           s.nextID,
+		unitRegenWeights: s.unitRegenWeights,
+		fiberGraph:       s.fiberGraph,
+		pairDist:         s.pairDist,
+		pairPath:         s.pairPath,
+		pairAlts:         s.pairAlts,
+	}
+	for id, w := range s.fiberUse {
+		c.fiberUse[id] = append(waveSet(nil), w...)
+	}
+	for id, circ := range s.circuits {
+		c.circuits[id] = circ // circuits are immutable once provisioned
+	}
+	return c
+}
+
 // Reset releases every circuit and restores all regenerator pools.
 func (s *State) Reset() {
 	for id := range s.fiberUse {

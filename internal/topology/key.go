@@ -1,0 +1,37 @@
+package topology
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Key returns a canonical byte string uniquely identifying the link multiset
+// (two LinkSets have equal keys iff Equal reports true). The encoding is the
+// site count followed by the sorted links as (u, v, count) uvarint triples,
+// mirroring the deterministic ordering of Links() and MarshalJSON. The key is
+// compact enough to serve as a map key for energy memoization in
+// internal/core.
+func (ls *LinkSet) Key() string {
+	links := ls.Links()
+	buf := make([]byte, 0, 2+9*len(links))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(x int) {
+		n := binary.PutUvarint(tmp[:], uint64(x))
+		buf = append(buf, tmp[:n]...)
+	}
+	put(ls.N)
+	for _, l := range links {
+		put(l.U)
+		put(l.V)
+		put(l.Count)
+	}
+	return string(buf)
+}
+
+// Hash returns a 64-bit FNV-1a hash of Key(). Unlike Key it can collide, so
+// it suits fingerprinting and sharding; exact lookups should compare Key.
+func (ls *LinkSet) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(ls.Key()))
+	return h.Sum64()
+}

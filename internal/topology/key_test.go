@@ -1,0 +1,89 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLinkSet builds a LinkSet by insertion in random order, so map
+// iteration cannot accidentally align between two equal sets.
+func randomLinkSet(rng *rand.Rand, n, links int) *LinkSet {
+	ls := NewLinkSet(n)
+	for i := 0; i < links; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		ls.Add(u, v, 1+rng.Intn(3))
+	}
+	return ls
+}
+
+func TestKeyMatchesEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := randomLinkSet(rng, 2+rng.Intn(12), rng.Intn(20))
+		b := a.Clone()
+		if a.Key() != b.Key() {
+			t.Fatalf("clone key differs: %v", a.Links())
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatalf("clone hash differs: %v", a.Links())
+		}
+		c := randomLinkSet(rng, a.N, rng.Intn(20))
+		if a.Equal(c) != (a.Key() == c.Key()) {
+			t.Fatalf("Key disagrees with Equal:\n a=%v\n c=%v", a.Links(), c.Links())
+		}
+	}
+}
+
+func TestKeyInsertionOrderIndependent(t *testing.T) {
+	a := NewLinkSet(6)
+	a.Add(0, 1, 2)
+	a.Add(3, 4, 1)
+	a.Add(2, 5, 3)
+	b := NewLinkSet(6)
+	b.Add(5, 2, 3) // reversed endpoints, different order
+	b.Add(4, 3, 1)
+	b.Add(1, 0, 1)
+	b.Add(0, 1, 1)
+	if a.Key() != b.Key() {
+		t.Error("keys differ for equal multisets built in different orders")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	base := NewLinkSet(5)
+	base.Add(0, 1, 2)
+	base.Add(1, 2, 1)
+
+	diffCount := base.Clone()
+	diffCount.Add(0, 1, 1)
+	diffLink := base.Clone()
+	diffLink.Add(3, 4, 1)
+	diffN := base.Clone()
+	diffN.N = 6
+	empty := NewLinkSet(5)
+
+	for name, other := range map[string]*LinkSet{
+		"count": diffCount, "link": diffLink, "sites": diffN, "empty": empty,
+	} {
+		if base.Key() == other.Key() {
+			t.Errorf("%s: key collision between different sets", name)
+		}
+	}
+}
+
+func TestKeySwapMoveChangesKey(t *testing.T) {
+	// The annealing neighbor move (remove (u,v)+(p,q), add (u,p)+(v,q))
+	// preserves degrees; the key must still tell the states apart.
+	a := NewLinkSet(4)
+	a.Add(0, 1, 1)
+	a.Add(2, 3, 1)
+	b := NewLinkSet(4)
+	b.Add(0, 2, 1)
+	b.Add(1, 3, 1)
+	if a.Key() == b.Key() {
+		t.Error("degree-preserving rewiring produced identical keys")
+	}
+}

@@ -1,0 +1,49 @@
+package owan
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestBuildAllMains compiles every package in the module, including the
+// cmd/* and examples/* main packages that `go test ./...` otherwise never
+// touches (they have no test files). This catches example drift: an API
+// change that breaks a demo now fails tier-1 instead of rotting silently.
+func TestBuildAllMains(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+
+	// The test runs with the repository root as its working directory
+	// (this file lives in the root package). Guard against relocation.
+	if _, err := os.Stat("go.mod"); err != nil {
+		t.Fatalf("not running at the module root: %v", err)
+	}
+
+	// Every cmd/* and examples/* subdirectory must hold a buildable main;
+	// enumerate them so an empty or renamed directory is also caught.
+	var mains []string
+	for _, glob := range []string{"cmd/*", "examples/*"} {
+		dirs, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dirs {
+			if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+				mains = append(mains, "./"+d)
+			}
+		}
+	}
+	if len(mains) < 10 {
+		t.Fatalf("only %d cmd/example packages found (%v); expected the full demo set", len(mains), mains)
+	}
+
+	args := append([]string{"build", "./..."}, mains...)
+	cmd := exec.Command(goBin, args...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build failed:\n%s", out)
+	}
+}
