@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench faults check
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
+# Fault-injection integration matrix: the end-to-end scenario (controller
+# killed mid-slot, one client partitioned, frames corrupted) must pass
+# deterministically for each seed, under the race detector. One `go test`
+# per seed so a failure names the seed that broke.
+FAULT_SEEDS ?= 1 2 3
+faults:
+	@for s in $(FAULT_SEEDS); do \
+		echo "--- fault injection, seed $$s"; \
+		FAULTNET_SEED=$$s $(GO) test -race -count=1 \
+			-run 'TestFaultInjectionEndToEnd' ./internal/controlplane/ || exit 1; \
+	done
+
 # check is the tier-1 gate: clean build, vet, full tests, race-detected
-# internal tests.
-check: build vet test race
+# internal tests, and the seeded fault-injection matrix.
+check: build vet test race faults

@@ -3,6 +3,10 @@
 // the rate allocations it receives each slot (a production agent would
 // program them into host rate limiters).
 //
+// The client survives controller churn: lost connections reconnect with
+// capped exponential backoff, submissions are idempotent across retries,
+// and heartbeats detect a dead controller even while idle.
+//
 // Usage:
 //
 //	owan-client -controller 127.0.0.1:9200 -site 0 -submit 1:4000    # 4000 Gbit to site 1
@@ -10,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,26 +27,39 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("controller", "127.0.0.1:9200", "controller address")
-		site    = flag.Int("site", 0, "this client's site id")
-		submit  = flag.String("submit", "", "comma-separated transfers dst:gbits[:deadline-slots]")
-		watch   = flag.Duration("watch", 30*time.Second, "how long to print rate updates before exiting")
-		statusQ = flag.Bool("status", false, "query controller status and exit")
+		addr      = flag.String("controller", "127.0.0.1:9200", "controller address")
+		site      = flag.Int("site", 0, "this client's site id")
+		submit    = flag.String("submit", "", "comma-separated transfers dst:gbits[:deadline-slots]")
+		watch     = flag.Duration("watch", 30*time.Second, "how long to print rate updates before exiting")
+		statusQ   = flag.Bool("status", false, "query controller status and exit")
+		heartbeat = flag.Duration("heartbeat", controlplane.DefaultHeartbeatInterval, "ping interval for controller liveness (0 disables)")
+		retryMax  = flag.Int("retry-max", 0, "give up after this many consecutive reconnect attempts (0 = retry forever)")
+		rpcTO     = flag.Duration("rpc-timeout", controlplane.DefaultRPCTimeout, "per-request deadline")
 	)
 	flag.Parse()
 
-	cl, err := controlplane.Dial(*addr, *site, func(rates []controlplane.WireRate) {
-		for _, r := range rates {
-			fmt.Printf("rate: transfer %d -> %.2f Gbps on path %v\n", r.TransferID, r.RateGbps, r.Path)
-		}
-	})
+	ctx := context.Background()
+	cl, err := controlplane.Dial(ctx, *addr,
+		controlplane.WithSite(*site),
+		controlplane.WithHeartbeatInterval(*heartbeat),
+		controlplane.WithRetryMax(*retryMax),
+		controlplane.WithRPCTimeout(*rpcTO),
+		controlplane.WithOnDisconnect(func(err error) {
+			log.Printf("connection lost: %v (reconnecting)", err)
+		}),
+		controlplane.WithOnRates(func(rates []controlplane.WireRate) {
+			for _, r := range rates {
+				fmt.Printf("rate: transfer %d -> %.2f Gbps on path %v\n", r.TransferID, r.RateGbps, r.Path)
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
 
 	if *statusQ {
-		st, err := cl.Status()
+		st, err := cl.Status(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +89,7 @@ func main() {
 				}
 				req.DeadlineSlots = dl
 			}
-			id, err := cl.Submit(req)
+			id, err := cl.Submit(ctx, req)
 			if err != nil {
 				log.Fatalf("submit %q: %v", spec, err)
 			}

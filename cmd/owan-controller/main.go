@@ -26,14 +26,15 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:9200", "listen address")
-		kind    = flag.String("topo", "internet2", "topology: internet2|isp|interdc")
-		ports   = flag.Int("ports", 10, "router ports per site")
-		slot    = flag.Duration("slot", 5*time.Second, "slot duration (paper: 5m; demos use seconds)")
-		seed    = flag.Int64("seed", 1, "annealing seed")
-		workers = flag.Int("workers", 0, "energy-evaluation goroutines (0 = serial; results identical for a seed either way)")
-		batch   = flag.Int("batch", 0, "candidate batch per temperature step (0 = workers; part of the search semantics)")
-		cache   = flag.Int("cache", 0, "energy memoization cache entries (0 = off)")
+		listen    = flag.String("listen", "127.0.0.1:9200", "listen address")
+		kind      = flag.String("topo", "internet2", "topology: internet2|isp|interdc")
+		ports     = flag.Int("ports", 10, "router ports per site")
+		slot      = flag.Duration("slot", 5*time.Second, "slot duration (paper: 5m; demos use seconds)")
+		seed      = flag.Int64("seed", 1, "annealing seed")
+		workers   = flag.Int("workers", 0, "energy-evaluation goroutines (0 = serial; results identical for a seed either way)")
+		batch     = flag.Int("batch", 0, "candidate batch per temperature step (0 = workers; part of the search semantics)")
+		cache     = flag.Int("cache", 0, "energy memoization cache entries (0 = off)")
+		heartbeat = flag.Duration("heartbeat", controlplane.DefaultReadTimeout, "declare a client dead after this much silence (clients ping every 10s by default)")
 	)
 	flag.Parse()
 
@@ -49,13 +50,19 @@ func main() {
 		log.Fatalf("unknown topology %q", *kind)
 	}
 
-	ctrl, err := controlplane.NewController(core.Config{
-		Net: nw, Policy: transfer.SJF, Seed: *seed,
-		Workers: *workers, BatchSize: *batch, EnergyCacheSize: *cache,
-	}, slot.Seconds(), nil)
+	// Canonical defaults + flag overlay; NewController validates, so a
+	// nonsense knob (negative workers, ...) dies here with a clear error.
+	cfg := core.DefaultConfig(nw)
+	cfg.Policy = transfer.SJF
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.BatchSize = *batch
+	cfg.EnergyCacheSize = *cache
+	ctrl, err := controlplane.NewController(cfg, slot.Seconds(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctrl.ReadTimeout = *heartbeat
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

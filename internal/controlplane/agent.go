@@ -58,7 +58,7 @@ func NewAgent(ctrlAddr string, site int, dataLis net.Listener, peers map[int]str
 		ctx:          ctx,
 		cancel:       cancel,
 	}
-	cl, err := Dial(ctrlAddr, site, a.onRates)
+	cl, err := Dial(ctx, ctrlAddr, WithSite(site), WithOnRates(a.onRates))
 	if err != nil {
 		cancel()
 		a.recv.Close()
@@ -96,7 +96,7 @@ func (a *Agent) Transfer(dst int, gbits float64, deadlineSlots int) (int, error)
 	if !ok {
 		return 0, fmt.Errorf("controlplane: no data address for site %d", dst)
 	}
-	id, err := a.client.Submit(WireRequest{Src: a.Site, Dst: dst, SizeGbits: gbits, DeadlineSlots: deadlineSlots})
+	id, err := a.client.Submit(a.ctx, WireRequest{Src: a.Site, Dst: dst, SizeGbits: gbits, DeadlineSlots: deadlineSlots})
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,8 @@ package controlplane
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -77,17 +79,17 @@ func TestSubmitAndTick(t *testing.T) {
 
 	var mu sync.Mutex
 	var got []WireRate
-	cl, err := Dial(addr, 0, func(rs []WireRate) {
+	cl, err := Dial(context.Background(), addr, WithSite(0), WithOnRates(func(rs []WireRate) {
 		mu.Lock()
 		got = append(got, rs...)
 		mu.Unlock()
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 
-	id, err := cl.Submit(WireRequest{Src: 0, Dst: 1, SizeGbits: 50})
+	id, err := cl.Submit(context.Background(), WireRequest{Src: 0, Dst: 1, SizeGbits: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,14 +121,14 @@ func TestSubmitAndTick(t *testing.T) {
 
 func TestTransferCompletesAndStatus(t *testing.T) {
 	ctrl, addr := newTestController(t, nil)
-	cl, err := Dial(addr, 0, nil)
+	cl, err := Dial(context.Background(), addr, WithSite(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 
 	// 50 Gbit with 10 s slots at >= 5 Gbps: done in one or two ticks.
-	if _, err := cl.Submit(WireRequest{Src: 0, Dst: 1, SizeGbits: 50}); err != nil {
+	if _, err := cl.Submit(context.Background(), WireRequest{Src: 0, Dst: 1, SizeGbits: 50}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5 && ctrl.Completed() == 0; i++ {
@@ -135,7 +137,7 @@ func TestTransferCompletesAndStatus(t *testing.T) {
 	if ctrl.Completed() != 1 {
 		t.Errorf("completed = %d, want 1", ctrl.Completed())
 	}
-	st, err := cl.Status()
+	st, err := cl.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,18 +148,18 @@ func TestTransferCompletesAndStatus(t *testing.T) {
 
 func TestSubmitValidation(t *testing.T) {
 	_, addr := newTestController(t, nil)
-	cl, err := Dial(addr, 0, nil)
+	cl, err := Dial(context.Background(), addr, WithSite(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Submit(WireRequest{Src: 0, Dst: 0, SizeGbits: 10}); err == nil {
+	if _, err := cl.Submit(context.Background(), WireRequest{Src: 0, Dst: 0, SizeGbits: 10}); err == nil {
 		t.Error("src==dst accepted")
 	}
-	if _, err := cl.Submit(WireRequest{Src: 0, Dst: 99, SizeGbits: 10}); err == nil {
+	if _, err := cl.Submit(context.Background(), WireRequest{Src: 0, Dst: 99, SizeGbits: 10}); err == nil {
 		t.Error("out-of-range site accepted")
 	}
-	if _, err := cl.Submit(WireRequest{Src: 0, Dst: 1, SizeGbits: -5}); err == nil {
+	if _, err := cl.Submit(context.Background(), WireRequest{Src: 0, Dst: 1, SizeGbits: -5}); err == nil {
 		t.Error("negative size accepted")
 	}
 }
@@ -165,12 +167,12 @@ func TestSubmitValidation(t *testing.T) {
 func TestControllerFailover(t *testing.T) {
 	st := store.New()
 	ctrl, addr := newTestController(t, st)
-	cl, err := Dial(addr, 0, nil)
+	cl, err := Dial(context.Background(), addr, WithSite(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A big transfer that will not finish quickly.
-	id, err := cl.Submit(WireRequest{Src: 0, Dst: 8, SizeGbits: 100000})
+	id, err := cl.Submit(context.Background(), WireRequest{Src: 0, Dst: 8, SizeGbits: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,29 +218,19 @@ func TestControllerFailover(t *testing.T) {
 
 func TestFiberFailureRecompute(t *testing.T) {
 	ctrl, addr := newTestController(t, nil)
-	cl, err := Dial(addr, 0, nil)
+	cl, err := Dial(context.Background(), addr, WithSite(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Submit(WireRequest{Src: 7, Dst: 8, SizeGbits: 500}); err != nil {
+	if _, err := cl.Submit(context.Background(), WireRequest{Src: 7, Dst: 8, SizeGbits: 500}); err != nil {
 		t.Fatal(err)
 	}
 	fibers := len(ctrl.Net.Fibers)
-	// Fail the WASH-NEWY fiber (id 11 in the Internet2 builder).
-	if err := cl.ReportFiberFailure(11); err != nil {
+	// Fail the WASH-NEWY fiber (id 11 in the Internet2 builder). The
+	// report is now a synchronous acked RPC.
+	if err := cl.ReportFiberFailure(context.Background(), 11); err != nil {
 		t.Fatal(err)
-	}
-	// Failure handling is asynchronous; wait for the fiber count to drop.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		ctrl.mu.Lock()
-		n := len(ctrl.Net.Fibers)
-		ctrl.mu.Unlock()
-		if n == fibers-1 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 	ctrl.mu.Lock()
 	n := len(ctrl.Net.Fibers)
@@ -253,8 +245,16 @@ func TestFiberFailureRecompute(t *testing.T) {
 	if ctrl.Completed() != 1 {
 		t.Error("transfer did not complete after fiber failure")
 	}
-	if err := cl.ReportFiberFailure(999); err != nil {
-		t.Fatal(err) // send succeeds; the error comes back asynchronously
+	// Re-reporting an already-failed fiber is idempotent (a retry after a
+	// lost ack must not error)...
+	if err := cl.ReportFiberFailure(context.Background(), 11); err != nil {
+		t.Errorf("idempotent re-report failed: %v", err)
+	}
+	// ...but a fiber that never existed is a typed error.
+	err = cl.ReportFiberFailure(context.Background(), 999)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != ErrCodeUnknownFiber {
+		t.Errorf("unknown fiber: got %v, want ServerError{unknown-fiber}", err)
 	}
 }
 
@@ -267,13 +267,13 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cl, err := Dial(addr, i%9, nil)
+			cl, err := Dial(context.Background(), addr, WithSite(i%9))
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			defer cl.Close()
-			id, err := cl.Submit(WireRequest{Src: i % 9, Dst: (i + 1) % 9, SizeGbits: 10})
+			id, err := cl.Submit(context.Background(), WireRequest{Src: i % 9, Dst: (i + 1) % 9, SizeGbits: 10})
 			if err != nil {
 				t.Error(err)
 				return

@@ -5,40 +5,105 @@
 // handles failure notifications and controller failover (§3.4).
 //
 // The wire protocol is length-prefixed JSON over TCP: each frame is a
-// 4-byte big-endian length followed by a JSON-encoded Message. JSON keeps
-// the protocol debuggable with standard tools; the framing makes message
-// boundaries explicit.
+// 4-byte big-endian length, a 4-byte CRC32 (IEEE) of the payload, and a
+// JSON-encoded Message. JSON keeps the protocol debuggable with standard
+// tools; the framing makes message boundaries explicit; the checksum makes
+// in-flight corruption fail loudly as a frame error (forcing a reconnect
+// and idempotent retry) instead of occasionally decoding as a different
+// valid message. See PROTOCOL.md in this directory for the full frame
+// format, handshake, and message reference.
 package controlplane
 
 import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
+
+// ProtoVersion is the wire-protocol version this build speaks. The client
+// advertises it in MsgHello; the controller rejects mismatches with a
+// typed ErrCodeVersionMismatch error instead of silently misbehaving.
+// Version 1 added the hello/welcome handshake, heartbeats, request
+// sequence numbers, and idempotent submit tokens; version 0 is the
+// original unversioned protocol (a hello without a version field).
+const ProtoVersion = 1
 
 // MsgType discriminates protocol messages.
 type MsgType string
 
 // Protocol message types.
 const (
-	// MsgHello registers a client and the site it fronts.
+	// MsgHello registers a client, the site it fronts, and its protocol
+	// version. It must be the first message on a connection.
 	MsgHello MsgType = "hello"
+	// MsgWelcome is the controller's handshake reply: it confirms the
+	// registration and carries the controller's protocol version.
+	MsgWelcome MsgType = "welcome"
 	// MsgSubmit carries a transfer request (src, dst, size, deadline).
+	// Token, when set, makes the submission idempotent: resubmitting the
+	// same token returns the originally assigned id.
 	MsgSubmit MsgType = "submit"
 	// MsgSubmitAck acknowledges a submission with its assigned id.
 	MsgSubmitAck MsgType = "submit-ack"
 	// MsgRates pushes the per-path rate allocation for the current slot to
 	// a client.
 	MsgRates MsgType = "rates"
-	// MsgLinkFailure reports a failed fiber.
+	// MsgLinkFailure reports a failed fiber; the controller answers with
+	// MsgAck (or a typed MsgError).
 	MsgLinkFailure MsgType = "link-failure"
 	// MsgStatus requests controller status; MsgStatusReply answers.
 	MsgStatus      MsgType = "status"
 	MsgStatusReply MsgType = "status-reply"
-	// MsgError reports a request-level failure.
+	// MsgPing/MsgPong are liveness heartbeats. Either side may ping; the
+	// peer echoes the Seq back in a pong. Any inbound frame counts as
+	// liveness, so pongs double as keepalives for the controller's read
+	// deadline.
+	MsgPing MsgType = "ping"
+	MsgPong MsgType = "pong"
+	// MsgAck is the generic success reply for requests that return no
+	// payload (currently MsgLinkFailure).
+	MsgAck MsgType = "ack"
+	// MsgError reports a request-level failure with a typed Code.
 	MsgError MsgType = "error"
 )
+
+// ErrCode classifies request-level failures so clients can distinguish
+// terminal errors (don't retry) from transient ones.
+type ErrCode string
+
+const (
+	// ErrCodeVersionMismatch: the client's ProtoVersion differs from the
+	// controller's. Terminal — reconnecting will not help.
+	ErrCodeVersionMismatch ErrCode = "version-mismatch"
+	// ErrCodeProtocol: the peer violated message ordering (e.g. a request
+	// before MsgHello).
+	ErrCodeProtocol ErrCode = "protocol"
+	// ErrCodeBadRequest: the request failed validation (unknown site,
+	// negative size, ...). Terminal for that request.
+	ErrCodeBadRequest ErrCode = "bad-request"
+	// ErrCodeUnknownFiber: a link-failure report named a fiber the
+	// controller has never seen.
+	ErrCodeUnknownFiber ErrCode = "unknown-fiber"
+	// ErrCodeInternal: the controller failed to process a valid request.
+	ErrCodeInternal ErrCode = "internal"
+)
+
+// ServerError is a typed request-level failure returned by client RPCs.
+type ServerError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("controlplane: server error (%s): %s", e.Code, e.Msg)
+}
+
+// Terminal reports whether retrying the request can ever succeed.
+func (e *ServerError) Terminal() bool {
+	return e.Code == ErrCodeVersionMismatch || e.Code == ErrCodeBadRequest || e.Code == ErrCodeProtocol
+}
 
 // WireRequest is a transfer submission.
 type WireRequest struct {
@@ -68,13 +133,20 @@ type WireStatus struct {
 // Message is the protocol envelope. Exactly the fields relevant to Type
 // are populated.
 type Message struct {
-	Type    MsgType      `json:"type"`
+	Type MsgType `json:"type"`
+	// Seq is a client-chosen request sequence number; the controller
+	// echoes it on the direct reply so a client can match responses after
+	// a reconnect, and on pongs so pings are correlated.
+	Seq     uint64       `json:"seq,omitempty"`
+	Version int          `json:"version,omitempty"`
 	Site    int          `json:"site,omitempty"`
+	Token   string       `json:"token,omitempty"`
 	Request *WireRequest `json:"request,omitempty"`
 	ID      int          `json:"id,omitempty"`
 	Rates   []WireRate   `json:"rates,omitempty"`
 	FiberID int          `json:"fiber_id,omitempty"`
 	Status  *WireStatus  `json:"status,omitempty"`
+	Code    ErrCode      `json:"code,omitempty"`
 	Err     string       `json:"err,omitempty"`
 }
 
@@ -91,8 +163,9 @@ func WriteMsg(w io.Writer, m *Message) error {
 	if len(body) > maxFrame {
 		return fmt.Errorf("controlplane: frame too large (%d bytes)", len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -100,19 +173,24 @@ func WriteMsg(w io.Writer, m *Message) error {
 	return err
 }
 
-// ReadMsg reads one framed message.
+// ReadMsg reads one framed message, verifying the payload checksum. Any
+// single-byte corruption of header or payload is guaranteed to fail here
+// rather than decode as a plausible message.
 func ReadMsg(r io.Reader) (*Message, error) {
-	var hdr [4]byte
+	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxFrame {
 		return nil, fmt.Errorf("controlplane: frame of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
+	}
+	if sum := crc32.ChecksumIEEE(body); sum != binary.BigEndian.Uint32(hdr[4:]) {
+		return nil, fmt.Errorf("controlplane: frame checksum mismatch (corrupt frame)")
 	}
 	m := new(Message)
 	if err := json.Unmarshal(body, m); err != nil {

@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"owan/internal/core"
 	"owan/internal/optical"
@@ -13,6 +14,14 @@ import (
 	"owan/internal/topology"
 	"owan/internal/transfer"
 	"owan/internal/update"
+)
+
+// Controller-side liveness defaults. DefaultReadTimeout must comfortably
+// exceed the client's DefaultHeartbeatInterval so a healthy idle client
+// is never declared dead between beats.
+const (
+	DefaultReadTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 10 * time.Second
 )
 
 // Controller is the centralized Owan controller: it accepts client
@@ -23,12 +32,25 @@ import (
 type Controller struct {
 	Net         *topology.Network
 	SlotSeconds float64
+	// ReadTimeout is the dead-client detector: a connection with no
+	// inbound frame (requests or heartbeat pings both count) for this
+	// long is closed. NewController fills in DefaultReadTimeout;
+	// overwrite before Serve, ≤0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds every outbound frame so one partitioned client
+	// with a full TCP buffer can never stall the slot loop. NewController
+	// fills in DefaultWriteTimeout; overwrite before Serve, ≤0 disables.
+	WriteTimeout time.Duration
 
 	mu        sync.Mutex
 	owan      *core.Owan
 	topo      *topology.LinkSet
 	transfers map[int]*transfer.Transfer
-	owners    map[int]*clientConn // transfer id -> submitting connection
+	owners    map[int]int         // transfer id -> submitting site
+	sites     map[int]*clientConn // site -> most recent live connection
+	tokens    map[string]int      // idempotency token -> transfer id
+	tokenByID map[int]string      // reverse of tokens, for persistence
+	failed    map[int]bool        // fiber ids already failed (idempotent reports)
 	nextID    int
 	slot      int
 	completed int
@@ -47,37 +69,57 @@ type Controller struct {
 }
 
 type clientConn struct {
-	c    net.Conn
-	site int
-	mu   sync.Mutex // serializes writes
+	c          net.Conn
+	site       int  // valid once registered
+	registered bool // hello handshake completed; both guarded by Controller.mu
+	wt         time.Duration
+	mu         sync.Mutex // serializes writes
 }
 
 func (cc *clientConn) send(m *Message) error {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	return WriteMsg(cc.c, m)
+	if cc.wt > 0 {
+		cc.c.SetWriteDeadline(time.Now().Add(cc.wt))
+	}
+	if err := WriteMsg(cc.c, m); err != nil {
+		// A write failure (dead or partitioned client) poisons the
+		// connection; close it so the read side unblocks and cleans up.
+		cc.c.Close()
+		return err
+	}
+	return nil
 }
 
 // NewController builds a controller for the network. The store may come
 // from a previous (failed) controller instance, in which case outstanding
-// transfers are recovered from it.
+// transfers (and their submit tokens and ownership) are recovered from it.
 func NewController(cfg core.Config, slotSeconds float64, st *store.Store) (*Controller, error) {
-	if cfg.Net == nil {
-		return nil, fmt.Errorf("controlplane: network required")
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("controlplane: %w", err)
+	}
+	if slotSeconds <= 0 {
+		return nil, fmt.Errorf("controlplane: slotSeconds must be positive (got %v)", slotSeconds)
 	}
 	if st == nil {
 		st = store.New()
 	}
 	c := &Controller{
-		Net:         cfg.Net,
-		SlotSeconds: slotSeconds,
-		owan:        core.New(cfg),
-		topo:        topology.InitialTopology(cfg.Net),
-		transfers:   map[int]*transfer.Transfer{},
-		owners:      map[int]*clientConn{},
-		conns:       map[*clientConn]bool{},
-		st:          st,
-		coreCfg:     cfg,
+		Net:          cfg.Net,
+		SlotSeconds:  slotSeconds,
+		ReadTimeout:  DefaultReadTimeout,
+		WriteTimeout: DefaultWriteTimeout,
+		owan:         core.New(cfg),
+		topo:         topology.InitialTopology(cfg.Net),
+		transfers:    map[int]*transfer.Transfer{},
+		owners:       map[int]int{},
+		sites:        map[int]*clientConn{},
+		tokens:       map[string]int{},
+		tokenByID:    map[int]string{},
+		failed:       map[int]bool{},
+		conns:        map[*clientConn]bool{},
+		st:           st,
+		coreCfg:      cfg,
 	}
 	c.opt = optical.NewState(cfg.Net)
 	if err := c.recover(); err != nil {
@@ -156,17 +198,29 @@ func (c *Controller) scheduleUpdate(next *update.State) {
 	}
 }
 
-// persistedTransfer is the store representation of a transfer.
+// persistedTransfer is the store representation of a transfer. Site is
+// the submitting client's site (-1 for in-process submissions) so a
+// failover controller can re-adopt a reconnecting owner; Token is the
+// idempotency token so a resubmission after failover maps to the same id.
 type persistedTransfer struct {
 	Req       transfer.Request `json:"req"`
 	Remaining float64          `json:"remaining"`
 	Done      bool             `json:"done"`
+	Site      int              `json:"site"`
+	Token     string           `json:"token,omitempty"`
 }
 
 func tKey(id int) string { return fmt.Sprintf("transfer/%08d", id) }
 
 func (c *Controller) persist(t *transfer.Transfer) {
-	b, err := json.Marshal(persistedTransfer{Req: t.Request, Remaining: t.Remaining, Done: t.Done})
+	site, ok := c.owners[t.ID]
+	if !ok {
+		site = -1
+	}
+	b, err := json.Marshal(persistedTransfer{
+		Req: t.Request, Remaining: t.Remaining, Done: t.Done,
+		Site: site, Token: c.tokenByID[t.ID],
+	})
 	if err != nil {
 		log.Printf("controlplane: persist transfer %d: %v", t.ID, err)
 		return
@@ -176,7 +230,9 @@ func (c *Controller) persist(t *transfer.Transfer) {
 
 // recover rebuilds in-memory transfer state from the store (controller
 // failover: "we spawn a new instance, which starts to compute and
-// reconfigure the network state at the next time slot").
+// reconfigure the network state at the next time slot"). The next-id
+// counter resumes past the largest recovered id, so ids stay unique
+// across takeovers; tokens and ownership come back with the transfers.
 func (c *Controller) recover() error {
 	if b, ok := c.st.Get("meta/slot"); ok {
 		if err := json.Unmarshal(b, &c.slot); err != nil {
@@ -199,6 +255,13 @@ func (c *Controller) recover() error {
 		if t.Done {
 			c.completed++
 		}
+		if p.Site >= 0 {
+			c.owners[t.ID] = p.Site
+		}
+		if p.Token != "" {
+			c.tokens[p.Token] = t.ID
+			c.tokenByID[t.ID] = p.Token
+		}
 	}
 	return nil
 }
@@ -214,7 +277,7 @@ func (c *Controller) Serve(lis net.Listener) {
 		if err != nil {
 			return
 		}
-		cc := &clientConn{c: conn}
+		cc := &clientConn{c: conn, wt: c.WriteTimeout}
 		c.mu.Lock()
 		if c.closing {
 			c.mu.Unlock()
@@ -255,40 +318,88 @@ func (c *Controller) Close() {
 	c.wg.Wait()
 }
 
+// readDeadline arms the dead-client detector before each read.
+func (c *Controller) readDeadline(cc *clientConn) {
+	if c.ReadTimeout > 0 {
+		cc.c.SetReadDeadline(time.Now().Add(c.ReadTimeout))
+	}
+}
+
+// handshake runs the hello/welcome exchange: the first frame must be a
+// MsgHello carrying a matching ProtoVersion. Old-version clients get a
+// typed version-mismatch error before the connection closes — never a
+// hang or a silent drop.
+func (c *Controller) handshake(cc *clientConn) bool {
+	c.readDeadline(cc)
+	m, err := ReadMsg(cc.c)
+	if err != nil {
+		return false
+	}
+	if m.Type != MsgHello {
+		cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeProtocol,
+			Err: fmt.Sprintf("first message must be %q, got %q", MsgHello, m.Type)})
+		return false
+	}
+	if m.Version != ProtoVersion {
+		cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeVersionMismatch,
+			Err: fmt.Sprintf("protocol version %d not supported (controller speaks %d)", m.Version, ProtoVersion)})
+		return false
+	}
+	c.mu.Lock()
+	cc.site = m.Site
+	cc.registered = true
+	// Adopt the connection as the site's rate-push target. Latest hello
+	// wins: a client reconnecting after a network blip (or after this
+	// controller took over from a failed one) re-owns its transfers here.
+	c.sites[m.Site] = cc
+	c.mu.Unlock()
+	return cc.send(&Message{Type: MsgWelcome, Seq: m.Seq, Version: ProtoVersion, Site: m.Site}) == nil
+}
+
 func (c *Controller) handle(cc *clientConn) {
 	defer func() {
 		cc.c.Close()
 		c.mu.Lock()
 		delete(c.conns, cc)
+		if cc.registered && c.sites[cc.site] == cc {
+			delete(c.sites, cc.site)
+		}
 		c.mu.Unlock()
 	}()
+	if !c.handshake(cc) {
+		return
+	}
 	for {
+		c.readDeadline(cc)
 		m, err := ReadMsg(cc.c)
 		if err != nil {
 			return
 		}
 		switch m.Type {
+		case MsgPing:
+			cc.send(&Message{Type: MsgPong, Seq: m.Seq})
+
 		case MsgHello:
-			c.mu.Lock()
-			cc.site = m.Site
-			c.mu.Unlock()
+			cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeProtocol, Err: "duplicate hello"})
 
 		case MsgSubmit:
 			if m.Request == nil {
-				cc.send(&Message{Type: MsgError, Err: "submit without request"})
+				cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeBadRequest, Err: "submit without request"})
 				continue
 			}
-			id, err := c.Submit(*m.Request, cc)
+			id, err := c.submit(*m.Request, cc.site, m.Token)
 			if err != nil {
-				cc.send(&Message{Type: MsgError, Err: err.Error()})
+				cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeBadRequest, Err: err.Error()})
 				continue
 			}
-			cc.send(&Message{Type: MsgSubmitAck, ID: id})
+			cc.send(&Message{Type: MsgSubmitAck, Seq: m.Seq, ID: id})
 
 		case MsgLinkFailure:
 			if err := c.FailFiber(m.FiberID); err != nil {
-				cc.send(&Message{Type: MsgError, Err: err.Error()})
+				cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeUnknownFiber, Err: err.Error()})
+				continue
 			}
+			cc.send(&Message{Type: MsgAck, Seq: m.Seq})
 
 		case MsgStatus:
 			c.mu.Lock()
@@ -299,10 +410,10 @@ func (c *Controller) handle(cc *clientConn) {
 				Circuits:  c.topo.TotalCircuits(),
 			}
 			c.mu.Unlock()
-			cc.send(&Message{Type: MsgStatusReply, Status: st})
+			cc.send(&Message{Type: MsgStatusReply, Seq: m.Seq, Status: st})
 
 		default:
-			cc.send(&Message{Type: MsgError, Err: "unknown message type " + string(m.Type)})
+			cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeProtocol, Err: "unknown message type " + string(m.Type)})
 		}
 	}
 }
@@ -317,11 +428,25 @@ func (c *Controller) activeCountLocked() int {
 	return n
 }
 
-// Submit registers a transfer request and returns its id. A nil owner is
-// allowed for direct (in-process) submission.
-func (c *Controller) Submit(r WireRequest, owner *clientConn) (int, error) {
+// Submit registers a transfer directly (in-process submission with no
+// owning client connection) and returns its id.
+func (c *Controller) Submit(r WireRequest) (int, error) {
+	return c.submit(r, -1, "")
+}
+
+// submit registers a transfer request for a site and returns its id.
+// site -1 means no owner. A non-empty token makes the call idempotent:
+// resubmitting a token the controller has already seen — including one
+// recovered from the store after failover — returns the original id
+// without creating a duplicate transfer.
+func (c *Controller) submit(r WireRequest, site int, token string) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if token != "" {
+		if id, ok := c.tokens[token]; ok {
+			return id, nil
+		}
+	}
 	req := transfer.Request{
 		ID:        c.nextID,
 		Src:       r.Src,
@@ -342,8 +467,12 @@ func (c *Controller) Submit(r WireRequest, owner *clientConn) (int, error) {
 	c.nextID++
 	t := transfer.NewTransfer(req)
 	c.transfers[req.ID] = t
-	if owner != nil {
-		c.owners[req.ID] = owner
+	if site >= 0 {
+		c.owners[req.ID] = site
+	}
+	if token != "" {
+		c.tokens[token] = req.ID
+		c.tokenByID[req.ID] = token
 	}
 	c.persist(t)
 	return req.ID, nil
@@ -356,6 +485,12 @@ func (c *Controller) Submit(r WireRequest, owner *clientConn) (int, error) {
 func (c *Controller) FailFiber(fiberID int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.failed[fiberID] {
+		// Already failed: reports are idempotent so a client retrying
+		// after a lost ack (or several sites noticing the same failure)
+		// succeeds.
+		return nil
+	}
 	idx := -1
 	for i, f := range c.Net.Fibers {
 		if f.ID == fiberID {
@@ -366,6 +501,7 @@ func (c *Controller) FailFiber(fiberID int) error {
 	if idx < 0 {
 		return fmt.Errorf("unknown fiber %d", fiberID)
 	}
+	c.failed[fiberID] = true
 	clone := *c.Net
 	clone.Fibers = append(append([]topology.Fiber(nil), c.Net.Fibers[:idx]...), c.Net.Fibers[idx+1:]...)
 	cfg := c.coreCfg
@@ -383,9 +519,15 @@ func (c *Controller) FailFiber(fiberID int) error {
 // Tick advances one time slot: computes the network state for the live
 // transfers, pushes rate allocations to the submitting clients, and
 // advances fluid progress accounting. It returns the search stats.
+//
+// Rate pushes are routed by owning *site*, not by the connection that
+// submitted: a client that reconnected (possibly to a standby controller
+// that took over this store) is re-adopted at its next hello and keeps
+// receiving allocations for its in-flight transfers. Pushes happen after
+// the state lock is released, so a slow or partitioned client can never
+// stall the slot loop; each send is bounded by WriteTimeout.
 func (c *Controller) Tick() core.SearchStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	var active []*transfer.Transfer
 	for _, t := range c.transfers {
 		if !t.Done && t.Arrival <= c.slot {
@@ -397,14 +539,16 @@ func (c *Controller) Tick() core.SearchStats {
 	c.topo = st.Topology
 	c.scheduleUpdate(c.toUpdateState(st))
 
-	// Push allocations to owners and advance accounting.
+	// Record allocations and advance accounting.
 	now := float64(c.slot) * c.SlotSeconds
-	perOwner := map[*clientConn][]WireRate{}
+	perConn := map[*clientConn][]WireRate{}
 	for _, t := range active {
 		t.Alloc = st.Alloc[t.ID]
 		for _, pr := range t.Alloc {
-			if o := c.owners[t.ID]; o != nil {
-				perOwner[o] = append(perOwner[o], WireRate{TransferID: t.ID, Path: pr.Path, RateGbps: pr.Rate})
+			if site, ok := c.owners[t.ID]; ok {
+				if cc := c.sites[site]; cc != nil {
+					perConn[cc] = append(perConn[cc], WireRate{TransferID: t.ID, Path: pr.Path, RateGbps: pr.Rate})
+				}
 			}
 		}
 		sent := t.Advance(now, c.SlotSeconds, c.slot)
@@ -417,15 +561,26 @@ func (c *Controller) Tick() core.SearchStats {
 		}
 		c.persist(t)
 	}
-	for o, rates := range perOwner {
-		o.send(&Message{Type: MsgRates, Rates: rates})
-	}
 	c.slot++
 	b, err := json.Marshal(c.slot)
 	if err == nil {
 		c.st.Put("meta/slot", b)
 	}
+	c.mu.Unlock()
+
+	for cc, rates := range perConn {
+		cc.send(&Message{Type: MsgRates, Rates: rates})
+	}
 	return st.Stats
+}
+
+// NextID returns the id the next submitted transfer will receive. After
+// failover it has resumed past every recovered transfer, so ids stay
+// unique across controller generations.
+func (c *Controller) NextID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextID
 }
 
 // Slot returns the next slot index.

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"testing"
 )
 
@@ -8,7 +9,7 @@ import (
 // a scheduled cross-layer update (§3.3 integrated into the controller).
 func TestTickProducesConsistentUpdatePlan(t *testing.T) {
 	ctrl, addr := newTestController(t, nil)
-	cl, err := Dial(addr, 0, nil)
+	cl, err := Dial(context.Background(), addr, WithSite(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,7 +17,7 @@ func TestTickProducesConsistentUpdatePlan(t *testing.T) {
 	// Several long transfers so demand persists across slots and the
 	// topology actually changes.
 	for i := 0; i < 6; i++ {
-		if _, err := cl.Submit(WireRequest{Src: i % 9, Dst: (i + 4) % 9, SizeGbits: 50000}); err != nil {
+		if _, err := cl.Submit(context.Background(), WireRequest{Src: i % 9, Dst: (i + 4) % 9, SizeGbits: 50000}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -143,17 +143,21 @@ func Scheduler(name string, net *topology.Network, sc Scale, deadlines bool, see
 	if deadlines {
 		policy = transfer.EDF
 	}
+	// Start from the canonical defaults and overlay the experiment's
+	// knobs; Validate fails fast on nonsense (negative workers, bad
+	// iteration counts) instead of feeding it to the search.
+	owanCfg := core.DefaultConfig(net)
+	owanCfg.Policy = policy
+	owanCfg.MaxIterations = sc.OwanIterations
+	owanCfg.TimeBudget = budget
+	owanCfg.Workers = sc.OwanWorkers
+	owanCfg.EnergyCacheSize = sc.OwanEnergyCache
+	owanCfg.Seed = seed
+	if err := owanCfg.Validate(); err != nil {
+		return nil, err
+	}
 	mkOwan := func() *core.Owan {
-		return core.New(core.Config{
-			Net:             net,
-			Policy:          policy,
-			StarveSlots:     core.DefaultStarveSlots,
-			MaxIterations:   sc.OwanIterations,
-			TimeBudget:      budget,
-			Workers:         sc.OwanWorkers,
-			EnergyCacheSize: sc.OwanEnergyCache,
-			Seed:            seed,
-		})
+		return core.New(owanCfg)
 	}
 	switch name {
 	case "owan":
