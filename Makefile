@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench faults check
+.PHONY: build vet test race bench bench-compare faults check
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# bench-compare benchmarks the hot paths at BASE (default HEAD~1, from a
+# temporary worktree) and at the working tree, then prints a benchstat
+# comparison (or a plain old/new/delta table when benchstat is absent).
+# Non-gating: the report never fails the build.
+BASE ?= HEAD~1
+bench-compare:
+	sh scripts/benchcompare.sh $(BASE)
 
 # Fault-injection integration matrix: the end-to-end scenario (controller
 # killed mid-slot, one client partitioned, frames corrupted) must pass

@@ -23,6 +23,7 @@ import (
 
 	"owan/internal/experiments"
 	"owan/internal/figdata"
+	"owan/internal/prof"
 )
 
 func main() {
@@ -33,8 +34,14 @@ func main() {
 		outdir  = flag.String("outdir", "", "directory for per-figure data files (optional)")
 		workers = flag.Int("workers", 0, "annealing energy-evaluation goroutines (0 = serial; see core.Config.Workers)")
 		cache   = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
+		pf      = prof.Register()
 	)
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	sc := experiments.QuickScale()
 	if *full {

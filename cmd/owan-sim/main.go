@@ -18,6 +18,7 @@ import (
 
 	"owan/internal/experiments"
 	"owan/internal/metrics"
+	"owan/internal/prof"
 	"owan/internal/transfer"
 	"owan/internal/workload"
 )
@@ -34,8 +35,14 @@ func main() {
 		traceOut = flag.String("save-trace", "", "write the generated workload to a JSON trace file")
 		workers  = flag.Int("workers", 0, "annealing energy-evaluation goroutines (0 = serial)")
 		cache    = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
+		pf       = prof.Register()
 	)
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	sc := experiments.QuickScale()
 	if *full {
@@ -113,6 +120,7 @@ func main() {
 	fmt.Printf("optical churn       %d circuit changes across run\n", churn)
 	if done < len(res.Transfers) {
 		fmt.Fprintln(os.Stderr, "warning: some transfers did not complete within the slot budget")
+		stopProf() // deferred calls do not run across os.Exit
 		os.Exit(1)
 	}
 }

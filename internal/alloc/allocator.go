@@ -1,0 +1,297 @@
+package alloc
+
+import (
+	"math"
+
+	"owan/internal/topology"
+	"owan/internal/transfer"
+)
+
+// Allocator runs the greedy multi-path assignment on flat, edge-id-indexed
+// arrays with reusable scratch, so that the annealing energy function —
+// which evaluates thousands of candidate topologies per slot — performs
+// zero heap allocations in steady state.
+//
+// Edge ids are minted per load from the LinkSet: edge e is the e-th link of
+// the (U, V)-sorted enumeration (topology.LinkSet.AppendLinks), residual
+// capacities live in a dense []float64 indexed by edge id, and adjacency is
+// CSR-shaped (adjOff/adjTo/adjEdge). The BFS uses a ring-buffer queue and
+// reconstructs paths by walking the prevNode/prevEdge chains, so bottleneck
+// and take never look up an edge by endpoint pair.
+//
+// Scratch ownership rules: an Allocator owns its buffers exclusively and is
+// not safe for concurrent use. Each worker of the parallel annealing engine
+// owns one Allocator, exactly as it owns one cloned optical.State. Buffers
+// grow monotonically and are retained across calls; results returned by
+// Greedy/GreedySequential copy every path out of the scratch, so they do
+// not alias it.
+//
+// Results are bit-identical to the map-based reference implementation in
+// reference.go: the CSR adjacency preserves the reference's neighbor order
+// (both enumerate links in (U, V)-sorted order), the ring-buffer BFS visits
+// vertices in the same FIFO order, and rates are computed and subtracted in
+// the same sequence, so every float operation sees the same operands.
+type Allocator struct {
+	n     int
+	links []topology.Link // scratch for LinkSet.AppendLinks
+
+	// Flat residual network (per load).
+	caps    []float64 // residual capacity by edge id
+	adjOff  []int32   // n+1 CSR offsets
+	adjTo   []int32   // neighbor site per directed arc
+	adjEdge []int32   // undirected edge id per directed arc
+	cur     []int32   // CSR fill cursor
+
+	// BFS scratch.
+	dist     []int32
+	prevNode []int32
+	prevEdge []int32
+	queue    []int32
+
+	// Per-demand scratch.
+	unmet    []float64
+	nextTier []int
+
+	// Path materialization scratch (only used when recording allocations).
+	path []int
+}
+
+// NewAllocator returns an empty allocator; buffers are sized lazily on
+// first use and reused afterwards.
+func NewAllocator() *Allocator { return &Allocator{} }
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func grow32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// load rebuilds the flat residual network for a topology, reusing every
+// buffer from the previous load.
+func (a *Allocator) load(ls *topology.LinkSet, theta float64) {
+	a.links = ls.AppendLinks(a.links[:0])
+	n, m := ls.N, len(a.links)
+	a.n = n
+	a.caps = growF(a.caps, m)
+	a.adjOff = grow32(a.adjOff, n+1)
+	a.adjTo = grow32(a.adjTo, 2*m)
+	a.adjEdge = grow32(a.adjEdge, 2*m)
+	a.cur = grow32(a.cur, n)
+	a.dist = grow32(a.dist, n)
+	a.prevNode = grow32(a.prevNode, n)
+	a.prevEdge = grow32(a.prevEdge, n)
+
+	for i := range a.adjOff {
+		a.adjOff[i] = 0
+	}
+	for _, l := range a.links {
+		a.adjOff[l.U+1]++
+		a.adjOff[l.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		a.adjOff[i+1] += a.adjOff[i]
+	}
+	copy(a.cur, a.adjOff[:n])
+	// Filling in link-enumeration order reproduces the reference
+	// implementation's per-site neighbor order exactly.
+	for e, l := range a.links {
+		a.caps[e] = float64(l.Count) * theta
+		a.adjTo[a.cur[l.U]] = int32(l.V)
+		a.adjEdge[a.cur[l.U]] = int32(e)
+		a.cur[l.U]++
+		a.adjTo[a.cur[l.V]] = int32(l.U)
+		a.adjEdge[a.cur[l.V]] = int32(e)
+		a.cur[l.V]++
+	}
+}
+
+// shortestResidual runs a minimum-hop BFS from src to dst over links with
+// positive residual capacity, leaving the prevNode/prevEdge chain and hop
+// count behind. It reports whether dst was reached.
+func (a *Allocator) shortestResidual(src, dst int) bool {
+	const eps = 1e-9
+	for i := 0; i < a.n; i++ {
+		a.dist[i] = -1
+	}
+	a.dist[src] = 0
+	a.queue = append(a.queue[:0], int32(src))
+	for head := 0; head < len(a.queue); head++ {
+		v := a.queue[head]
+		if int(v) == dst {
+			break
+		}
+		for j := a.adjOff[v]; j < a.adjOff[v+1]; j++ {
+			w := a.adjTo[j]
+			if a.dist[w] >= 0 || a.caps[a.adjEdge[j]] <= eps {
+				continue
+			}
+			a.dist[w] = a.dist[v] + 1
+			a.prevNode[w] = v
+			a.prevEdge[w] = a.adjEdge[j]
+			a.queue = append(a.queue, w)
+		}
+	}
+	return a.dist[dst] >= 0
+}
+
+// bottleneck returns the minimum residual along the found path by walking
+// the prev chain (min is order-independent, so walking dst→src matches the
+// reference's forward walk exactly).
+func (a *Allocator) bottleneck(src, dst int) float64 {
+	b := math.Inf(1)
+	for v := int32(dst); int(v) != src; v = a.prevNode[v] {
+		if c := a.caps[a.prevEdge[v]]; c < b {
+			b = c
+		}
+	}
+	return b
+}
+
+// take subtracts rate from every edge of the found path.
+func (a *Allocator) take(src, dst int, rate float64) {
+	for v := int32(dst); int(v) != src; v = a.prevNode[v] {
+		a.caps[a.prevEdge[v]] -= rate
+	}
+}
+
+// materializePath rebuilds the found path src..dst into the reusable path
+// buffer.
+func (a *Allocator) materializePath(src, dst int) {
+	a.path = a.path[:0]
+	for v := int32(dst); ; v = a.prevNode[v] {
+		a.path = append(a.path, int(v))
+		if int(v) == src {
+			break
+		}
+	}
+	for i, j := 0, len(a.path)-1; i < j; i, j = i+1, j-1 {
+		a.path[i], a.path[j] = a.path[j], a.path[i]
+	}
+}
+
+// run executes the greedy assignment (tiered == Algorithm 3, otherwise the
+// sequential ablation variant) and returns the total throughput. When rec
+// is non-nil it is invoked after every claimed path with the demand index
+// and rate, with the path materialized in a.path (valid until the next
+// claim); when rec is nil no path is materialized and the run allocates
+// nothing in steady state.
+func (a *Allocator) run(ls *topology.LinkSet, theta float64, demands []Demand, tiered bool, rec func(i int, rate float64)) float64 {
+	const eps = 1e-9
+	a.load(ls, theta)
+	throughput := 0.0
+
+	if !tiered {
+		for i := range demands {
+			d := &demands[i]
+			unmet := d.RateGbps
+			for unmet > eps {
+				if !a.shortestResidual(d.Src, d.Dst) {
+					break
+				}
+				rate := math.Min(unmet, a.bottleneck(d.Src, d.Dst))
+				if rate <= eps {
+					break
+				}
+				a.take(d.Src, d.Dst, rate)
+				unmet -= rate
+				throughput += rate
+				if rec != nil {
+					a.materializePath(d.Src, d.Dst)
+					rec(i, rate)
+				}
+			}
+		}
+		return throughput
+	}
+
+	a.unmet = growF(a.unmet, len(demands))
+	a.nextTier = growI(a.nextTier, len(demands))
+	for i, d := range demands {
+		a.unmet[i] = d.RateGbps
+		a.nextTier[i] = 1
+	}
+	for l := 1; l <= ls.N; l++ {
+		anyUnmet := false
+		for i := range demands {
+			d := &demands[i]
+			if a.unmet[i] <= eps || a.nextTier[i] > l {
+				if a.unmet[i] > eps && a.nextTier[i] <= ls.N {
+					anyUnmet = true
+				}
+				continue
+			}
+			for a.unmet[i] > eps {
+				if !a.shortestResidual(d.Src, d.Dst) {
+					a.nextTier[i] = math.MaxInt
+					break
+				}
+				if hops := int(a.dist[d.Dst]); hops > l {
+					a.nextTier[i] = hops
+					anyUnmet = true
+					break
+				}
+				rate := math.Min(a.unmet[i], a.bottleneck(d.Src, d.Dst))
+				if rate <= eps {
+					a.nextTier[i] = math.MaxInt
+					break
+				}
+				a.take(d.Src, d.Dst, rate)
+				a.unmet[i] -= rate
+				throughput += rate
+				if rec != nil {
+					a.materializePath(d.Src, d.Dst)
+					rec(i, rate)
+				}
+			}
+		}
+		if !anyUnmet {
+			break
+		}
+	}
+	return throughput
+}
+
+// Throughput evaluates the tiered greedy assignment and returns only the
+// total throughput — the annealing energy. It materializes no paths and
+// performs zero allocations in steady state (asserted by
+// TestAllocatorThroughputZeroAlloc).
+func (a *Allocator) Throughput(ls *topology.LinkSet, theta float64, demands []Demand) float64 {
+	return a.run(ls, theta, demands, true, nil)
+}
+
+// Greedy runs the tiered greedy assignment and returns the full Result.
+// The paths in the result are fresh copies owned by the caller.
+func (a *Allocator) Greedy(ls *topology.LinkSet, theta float64, demands []Demand) *Result {
+	res := &Result{Alloc: make(map[int][]transfer.PathRate, len(demands))}
+	res.Throughput = a.run(ls, theta, demands, true, func(i int, rate float64) {
+		id := demands[i].ID
+		res.Alloc[id] = append(res.Alloc[id], transfer.PathRate{Path: append([]int(nil), a.path...), Rate: rate})
+	})
+	return res
+}
+
+// GreedySequential runs the no-tier ablation variant and returns the full
+// Result. The paths in the result are fresh copies owned by the caller.
+func (a *Allocator) GreedySequential(ls *topology.LinkSet, theta float64, demands []Demand) *Result {
+	res := &Result{Alloc: make(map[int][]transfer.PathRate, len(demands))}
+	res.Throughput = a.run(ls, theta, demands, false, func(i int, rate float64) {
+		id := demands[i].ID
+		res.Alloc[id] = append(res.Alloc[id], transfer.PathRate{Path: append([]int(nil), a.path...), Rate: rate})
+	})
+	return res
+}

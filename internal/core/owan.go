@@ -154,6 +154,7 @@ type NetworkState struct {
 type Owan struct {
 	cfg Config
 	opt *optical.State
+	al  *alloc.Allocator
 	rng *rand.Rand
 	// onCacheHit, when set (tests), observes every energy-cache hit with
 	// the candidate topology and the energy the cache returned.
@@ -166,6 +167,7 @@ func New(cfg Config) *Owan {
 	return &Owan{
 		cfg: cfg,
 		opt: optical.NewState(cfg.Net),
+		al:  alloc.NewAllocator(),
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
@@ -181,9 +183,18 @@ func (o *Owan) demands(active []*transfer.Transfer, slot int, slotSeconds float6
 // (Algorithm 3): provision circuits for every link, then greedily assign
 // paths and rates to the ordered demands on the effective topology.
 func (o *Owan) Energy(s *topology.LinkSet, demands []alloc.Demand) float64 {
-	plan := o.opt.ProvisionTopology(s)
-	eff := plan.Effective(s.N)
-	return alloc.Throughput(eff, o.cfg.Net.ThetaGbps, demands)
+	return energyOn(o.opt, o.al, o.cfg.Net.ThetaGbps, s, demands)
+}
+
+// energyOn is the allocation-free energy evaluation shared by the serial
+// search loop and the parallel evaluator workers: realize the topology
+// without materializing circuit records, then run the flat greedy allocator
+// for the throughput alone. The (opt, al) pair must be exclusively owned by
+// the calling goroutine; both provide reusable scratch, so steady-state
+// evaluations perform near-zero heap allocations.
+func energyOn(opt *optical.State, al *alloc.Allocator, theta float64, s *topology.LinkSet, demands []alloc.Demand) float64 {
+	eff := opt.ProvisionEffective(s)
+	return al.Throughput(eff, theta, demands)
 }
 
 // SetUnitRegenWeights forwards the regenerator-balancing ablation knob to
@@ -264,14 +275,16 @@ func (o *Owan) swapOnce(s *topology.LinkSet) *topology.LinkSet {
 		}
 		// Reject a no-op (picking the same circuit twice when count==1 is
 		// fine to allow; the result still differs unless identical pairs).
-		n := s.Clone()
-		if n.Get(u, v) == 0 || n.Get(p, q) == 0 {
+		// Validation reads the source topology, so rejected tries (up to 31
+		// per swap) never pay for a clone; only a committed swap does.
+		if s.Get(u, v) == 0 || s.Get(p, q) == 0 {
 			continue
 		}
 		// If (u,v) == (p,q) as a link, it must hold at least 2 circuits.
-		if canonEq(u, v, p, q) && n.Get(u, v) < 2 {
+		if canonEq(u, v, p, q) && s.Get(u, v) < 2 {
 			continue
 		}
+		n := s.Clone()
 		n.Add(u, v, -1)
 		n.Add(p, q, -1)
 		n.Add(u, p, 1)
@@ -408,7 +421,7 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 
 	plan := o.opt.ProvisionTopology(sBest)
 	eff := plan.Effective(sBest.N)
-	res := alloc.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
+	res := o.al.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
 	stats.BestEnergy = eBest
 	stats.Churn = current.Diff(sBest)
 	stats.Elapsed = time.Since(start)
@@ -428,7 +441,7 @@ func (o *Owan) Reallocate(topo *topology.LinkSet, active []*transfer.Transfer, s
 	demands := o.demands(active, slot, slotSeconds)
 	plan := o.opt.ProvisionTopology(topo)
 	eff := plan.Effective(topo.N)
-	res := alloc.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
+	res := o.al.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
 	return &NetworkState{
 		Topology:  topo,
 		Plan:      plan,

@@ -115,22 +115,23 @@ func newEvaluator(o *Owan, demands []alloc.Demand) *evaluator {
 		ev.results = make(chan evalResult, o.cfg.BatchSize)
 		ev.done = make(chan struct{})
 		for w := 0; w < ev.workers; w++ {
-			go ev.worker(w, o.opt.Clone())
+			go ev.worker(w, o.opt.Clone(), alloc.NewAllocator())
 		}
 	}
 	return ev
 }
 
-// worker evaluates jobs on its private optical state until the pool closes.
-func (ev *evaluator) worker(id int, opt *optical.State) {
+// worker evaluates jobs on its private optical state and allocator until
+// the pool closes. Owning both means a worker's steady-state energy
+// evaluations reuse the same scratch buffers job after job, so the hot loop
+// does not allocate.
+func (ev *evaluator) worker(id int, opt *optical.State, al *alloc.Allocator) {
 	theta := ev.o.cfg.Net.ThetaGbps
 	for {
 		select {
 		case job := <-ev.jobs:
-			plan := opt.ProvisionTopology(job.s)
-			eff := plan.Effective(job.s.N)
 			ev.evals[id]++ // exclusive slot; read by coordinator after the batch barrier
-			ev.results <- evalResult{idx: job.idx, energy: alloc.Throughput(eff, theta, ev.demands)}
+			ev.results <- evalResult{idx: job.idx, energy: energyOn(opt, al, theta, job.s, ev.demands)}
 		case <-ev.done:
 			return
 		}

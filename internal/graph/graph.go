@@ -135,44 +135,11 @@ func (h *heap) pop() item {
 
 // ShortestPath runs Dijkstra from src to dst using edge weights. It returns
 // nil if dst is unreachable. Ties are broken by insertion order, which keeps
-// results deterministic for a deterministically built graph.
+// results deterministic for a deterministically built graph. Repeated
+// callers should hold a Scratch and use ShortestPathScratch.
 func (g *Graph) ShortestPath(src, dst int) *Path {
-	dist := make([]float64, g.n)
-	prev := make([]Edge, g.n)
-	seen := make([]bool, g.n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = Edge{From: -1}
-	}
-	dist[src] = 0
-	h := heap{}
-	h.push(item{src, 0})
-	for len(h) > 0 {
-		it := h.pop()
-		if seen[it.v] {
-			continue
-		}
-		seen[it.v] = true
-		if it.v == dst {
-			break
-		}
-		for _, e := range g.adj[it.v] {
-			if nd := dist[it.v] + e.Weight; nd < dist[e.To] {
-				dist[e.To] = nd
-				prev[e.To] = e
-				h.push(item{e.To, nd})
-			}
-		}
-	}
-	if math.IsInf(dist[dst], 1) {
-		return nil
-	}
-	var edges []Edge
-	for v := dst; v != src; v = prev[v].From {
-		edges = append(edges, prev[v])
-	}
-	reverse(edges)
-	return &Path{Edges: edges, Weight: dist[dst]}
+	var sc Scratch
+	return g.ShortestPathScratch(&sc, src, dst)
 }
 
 // ShortestDistances runs Dijkstra from src and returns the distance to every
@@ -240,75 +207,19 @@ func (g *Graph) Connected() bool {
 }
 
 // KShortestPaths returns up to k loopless shortest paths from src to dst in
-// nondecreasing weight order (Yen's algorithm).
+// nondecreasing weight order (Yen's algorithm). Repeated callers should
+// hold a Scratch and use KShortestPathsScratch.
 func (g *Graph) KShortestPaths(src, dst, k int) []*Path {
-	if k <= 0 {
-		return nil
-	}
-	first := g.ShortestPath(src, dst)
-	if first == nil {
-		return nil
-	}
-	result := []*Path{first}
-	var candidates []*Path
-	for len(result) < k {
-		prevPath := result[len(result)-1]
-		prevVerts := prevPath.Vertices()
-		for i := 0; i < len(prevPath.Edges); i++ {
-			spurNode := prevVerts[i]
-			rootEdges := prevPath.Edges[:i]
-			// Build a filtered graph: remove edges that would recreate an
-			// already-found path with the same root, and remove root vertices
-			// to keep paths loopless.
-			banned := make(map[[3]int]bool) // from,to,id
-			for _, p := range result {
-				if pathHasPrefix(p, rootEdges) && len(p.Edges) > i {
-					e := p.Edges[i]
-					banned[[3]int{e.From, e.To, e.ID}] = true
-				}
-			}
-			removedVerts := make(map[int]bool)
-			for _, v := range prevVerts[:i] {
-				removedVerts[v] = true
-			}
-			sub := New(g.n)
-			for v := 0; v < g.n; v++ {
-				if removedVerts[v] {
-					continue
-				}
-				for _, e := range g.adj[v] {
-					if removedVerts[e.To] || banned[[3]int{e.From, e.To, e.ID}] {
-						continue
-					}
-					sub.AddEdge(e.From, e.To, e.Weight, e.ID)
-				}
-			}
-			spur := sub.ShortestPath(spurNode, dst)
-			if spur == nil {
-				continue
-			}
-			var total []Edge
-			total = append(total, rootEdges...)
-			total = append(total, spur.Edges...)
-			w := spur.Weight
-			for _, e := range rootEdges {
-				w += e.Weight
-			}
-			cand := &Path{Edges: total, Weight: w}
-			if !containsPath(candidates, cand) && !containsPath(result, cand) {
-				candidates = append(candidates, cand)
-			}
-		}
-		if len(candidates) == 0 {
-			break
-		}
-		sort.SliceStable(candidates, func(a, b int) bool {
-			return candidates[a].Weight < candidates[b].Weight
-		})
-		result = append(result, candidates[0])
-		candidates = candidates[1:]
-	}
-	return result
+	var sc Scratch
+	return g.KShortestPathsScratch(&sc, src, dst, k)
+}
+
+// stableSortByWeight orders candidate paths by nondecreasing weight,
+// preserving discovery order among ties (Yen's determinism contract).
+func stableSortByWeight(ps []*Path) {
+	sort.SliceStable(ps, func(a, b int) bool {
+		return ps[a].Weight < ps[b].Weight
+	})
 }
 
 func pathHasPrefix(p *Path, prefix []Edge) bool {

@@ -1,0 +1,159 @@
+package graph
+
+import "math"
+
+// Scratch holds the per-query buffers of the shortest-path routines so that
+// repeated queries — the regenerator-route searches the optical layer issues
+// for every circuit of every candidate topology — stop allocating fresh
+// dist/seen/prev arrays and heaps each time. A Scratch may be reused across
+// graphs of different sizes (buffers grow monotonically) but must not be
+// shared between goroutines.
+type Scratch struct {
+	dist []float64
+	prev []Edge
+	seen []bool
+	h    heap
+	sub  *Graph // filtered-copy graph reused by KShortestPathsScratch
+}
+
+// grow sizes the buffers for a graph with n vertices.
+func (sc *Scratch) grow(n int) {
+	if cap(sc.dist) < n {
+		sc.dist = make([]float64, n)
+		sc.prev = make([]Edge, n)
+		sc.seen = make([]bool, n)
+	}
+	sc.dist = sc.dist[:n]
+	sc.prev = sc.prev[:n]
+	sc.seen = sc.seen[:n]
+}
+
+// Reset reshapes the graph to n vertices with no edges while retaining the
+// adjacency backing arrays, so rebuilding a transit graph of similar size
+// allocates nothing in steady state.
+func (g *Graph) Reset(n int) {
+	if cap(g.adj) >= n {
+		g.adj = g.adj[:n]
+	} else {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]Edge, n-cap(g.adj))...)
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+}
+
+// ShortestPathScratch is ShortestPath with caller-owned scratch buffers: the
+// Dijkstra state lives in sc and only the returned *Path (which escapes to
+// the caller) is freshly allocated. Results are identical to ShortestPath.
+func (g *Graph) ShortestPathScratch(sc *Scratch, src, dst int) *Path {
+	sc.grow(g.n)
+	dist, prev, seen := sc.dist, sc.prev, sc.seen
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = Edge{From: -1}
+		seen[i] = false
+	}
+	dist[src] = 0
+	sc.h = sc.h[:0]
+	sc.h.push(item{src, 0})
+	for len(sc.h) > 0 {
+		it := sc.h.pop()
+		if seen[it.v] {
+			continue
+		}
+		seen[it.v] = true
+		if it.v == dst {
+			break
+		}
+		for _, e := range g.adj[it.v] {
+			if nd := dist[it.v] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = e
+				sc.h.push(item{e.To, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	var edges []Edge
+	for v := dst; v != src; v = prev[v].From {
+		edges = append(edges, prev[v])
+	}
+	reverse(edges)
+	return &Path{Edges: edges, Weight: dist[dst]}
+}
+
+// KShortestPathsScratch is KShortestPaths with caller-owned scratch: all
+// internal Dijkstra runs share sc's buffers and the filtered spur graphs
+// reuse one retained Graph instead of allocating a fresh one per spur node.
+// Results are identical to KShortestPaths.
+func (g *Graph) KShortestPathsScratch(sc *Scratch, src, dst, k int) []*Path {
+	if k <= 0 {
+		return nil
+	}
+	first := g.ShortestPathScratch(sc, src, dst)
+	if first == nil {
+		return nil
+	}
+	if sc.sub == nil {
+		sc.sub = New(g.n)
+	}
+	result := []*Path{first}
+	var candidates []*Path
+	for len(result) < k {
+		prevPath := result[len(result)-1]
+		prevVerts := prevPath.Vertices()
+		for i := 0; i < len(prevPath.Edges); i++ {
+			spurNode := prevVerts[i]
+			rootEdges := prevPath.Edges[:i]
+			banned := make(map[[3]int]bool) // from,to,id
+			for _, p := range result {
+				if pathHasPrefix(p, rootEdges) && len(p.Edges) > i {
+					e := p.Edges[i]
+					banned[[3]int{e.From, e.To, e.ID}] = true
+				}
+			}
+			removedVerts := make(map[int]bool)
+			for _, v := range prevVerts[:i] {
+				removedVerts[v] = true
+			}
+			sub := sc.sub
+			sub.Reset(g.n)
+			for v := 0; v < g.n; v++ {
+				if removedVerts[v] {
+					continue
+				}
+				for _, e := range g.adj[v] {
+					if removedVerts[e.To] || banned[[3]int{e.From, e.To, e.ID}] {
+						continue
+					}
+					sub.AddEdge(e.From, e.To, e.Weight, e.ID)
+				}
+			}
+			spur := sub.ShortestPathScratch(sc, spurNode, dst)
+			if spur == nil {
+				continue
+			}
+			var total []Edge
+			total = append(total, rootEdges...)
+			total = append(total, spur.Edges...)
+			w := spur.Weight
+			for _, e := range rootEdges {
+				w += e.Weight
+			}
+			cand := &Path{Edges: total, Weight: w}
+			if !containsPath(candidates, cand) && !containsPath(result, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		stableSortByWeight(candidates)
+		result = append(result, candidates[0])
+		candidates = candidates[1:]
+	}
+	return result
+}

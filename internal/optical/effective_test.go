@@ -1,0 +1,121 @@
+package optical
+
+import (
+	"math/rand"
+	"testing"
+
+	"owan/internal/topology"
+)
+
+// sameLinkSet asserts two LinkSets carry identical capacities.
+func sameLinkSet(t *testing.T, ctx string, want, got *topology.LinkSet) {
+	t.Helper()
+	if want.N != got.N {
+		t.Fatalf("%s: N %d != %d", ctx, got.N, want.N)
+	}
+	for _, l := range want.Links() {
+		if g := got.Get(l.U, l.V); g != l.Count {
+			t.Fatalf("%s: link %d-%d: %d circuits, want %d", ctx, l.U, l.V, g, l.Count)
+		}
+	}
+	for _, l := range got.Links() {
+		if want.Get(l.U, l.V) == 0 {
+			t.Fatalf("%s: unexpected link %d-%d (%d circuits)", ctx, l.U, l.V, l.Count)
+		}
+	}
+}
+
+// TestProvisionEffectiveMatchesPlan pins the record-free provisioning mode
+// to the recording one: for the same requested topology both must produce
+// identical effective capacities, because provisioning decisions depend only
+// on the wavelength/regenerator occupancy, never on the Circuit records.
+// One State serves all ProvisionEffective calls so scratch-reuse bugs
+// (stale effective sets, leftover transit graphs) cannot hide.
+func TestProvisionEffectiveMatchesPlan(t *testing.T) {
+	nets := []*topology.Network{
+		topology.Internet2(15),
+		topology.ISP(30, 8, 5),
+		topology.Square(),
+	}
+	for ni, net := range nets {
+		n := net.NumSites()
+		lean := NewState(net)
+		rng := rand.New(rand.NewSource(int64(ni)))
+		cases := []*topology.LinkSet{topology.InitialTopology(net)}
+		// Random topologies, including over-subscribed ones that exhaust
+		// wavelengths (Built < Want) and long links that need regenerators.
+		for c := 0; c < 8; c++ {
+			ls := topology.NewLinkSet(n)
+			for i := 0; i < 3+rng.Intn(3*n); i++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				ls.Add(u, v, 1+rng.Intn(6))
+			}
+			cases = append(cases, ls)
+		}
+		for ci, ls := range cases {
+			want := NewState(net).ProvisionTopology(ls).Effective(n)
+			got := lean.ProvisionEffective(ls)
+			sameLinkSet(t, "lean vs plan", want, got)
+			_ = ci
+		}
+	}
+}
+
+// TestProvisionEffectiveReusesResult documents the ownership contract: the
+// returned LinkSet belongs to the State and is overwritten by the next call.
+func TestProvisionEffectiveReusesResult(t *testing.T) {
+	net := topology.Internet2(15)
+	s := NewState(net)
+	ls := topology.InitialTopology(net)
+	a := s.ProvisionEffective(ls)
+	snapshot := a.Clone()
+	b := s.ProvisionEffective(ls)
+	if a != b {
+		t.Error("ProvisionEffective should reuse its result LinkSet across calls")
+	}
+	sameLinkSet(t, "second call", snapshot, b)
+}
+
+// TestProvisionEffectiveSteadyStateAllocs asserts the energy hot path stays
+// (nearly) allocation-free: after warm-up, realizing a topology allocates
+// nothing on the direct-segment fast path. Map writes into the effective
+// LinkSet and rare regenerator-graph paths are the only permitted sources.
+func TestProvisionEffectiveSteadyStateAllocs(t *testing.T) {
+	net := topology.ISP(25, 8, 1)
+	s := NewState(net)
+	ls := topology.InitialTopology(net)
+	s.ProvisionEffective(ls) // warm the scratch buffers
+	if avg := testing.AllocsPerRun(10, func() {
+		s.ProvisionEffective(ls)
+	}); avg > 2 {
+		t.Errorf("ProvisionEffective allocates %v objects/op in steady state, want <= 2", avg)
+	}
+}
+
+// BenchmarkProvisionTopology measures topology realization with circuit
+// records on the quick-scale ISP network (the configuration the paper's
+// figures use for search-quality experiments).
+func BenchmarkProvisionTopology(b *testing.B) {
+	net := topology.ISP(25, 8, 1)
+	ls := topology.InitialTopology(net)
+	s := NewState(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ProvisionTopology(ls)
+	}
+}
+
+// BenchmarkProvisionEffective measures the record-free realization used by
+// the annealing energy function.
+func BenchmarkProvisionEffective(b *testing.B) {
+	net := topology.ISP(25, 8, 1)
+	ls := topology.InitialTopology(net)
+	s := NewState(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ProvisionEffective(ls)
+	}
+}

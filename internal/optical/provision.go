@@ -1,8 +1,6 @@
 package optical
 
 import (
-	"sort"
-
 	"owan/internal/topology"
 )
 
@@ -45,21 +43,16 @@ func (tp *TopologyPlan) TotalBuilt() int {
 
 // ProvisionTopology provisions circuits for every link of the desired
 // network-layer topology on a fresh optical state. Links are processed in
-// deterministic sorted order. If the optical layer cannot supply all
-// requested circuits for a link, the link's capacity is decreased (paper
-// Alg 3 lines 13–14) rather than failing the whole topology.
+// deterministic (U, V)-sorted order — exactly the order LinkSet.Links
+// returns them. If the optical layer cannot supply all requested circuits
+// for a link, the link's capacity is decreased (paper Alg 3 lines 13–14)
+// rather than failing the whole topology.
 //
 // The state is Reset first: topology realization is evaluated from scratch,
 // matching the stateless energy computation of the annealing search.
 func (s *State) ProvisionTopology(ls *topology.LinkSet) *TopologyPlan {
 	s.Reset()
 	links := ls.Links()
-	sort.Slice(links, func(i, j int) bool {
-		if links[i].U != links[j].U {
-			return links[i].U < links[j].U
-		}
-		return links[i].V < links[j].V
-	})
 	plan := &TopologyPlan{}
 	for _, l := range links {
 		lc := LinkCircuits{U: l.U, V: l.V, Want: l.Count}
@@ -74,4 +67,39 @@ func (s *State) ProvisionTopology(ls *topology.LinkSet) *TopologyPlan {
 		plan.Links = append(plan.Links, lc)
 	}
 	return plan
+}
+
+// ProvisionEffective realizes the desired topology exactly like
+// ProvisionTopology but materializes no Circuit records and no plan: it
+// returns only the effective link capacities, which is all the annealing
+// energy function consumes. The provisioning decisions — and therefore the
+// resulting capacities — are identical to ProvisionTopology's, because
+// decisions depend only on the mutable occupancy (wavelength bitsets and
+// regenerator pools), never on the recorded circuits.
+//
+// The returned LinkSet is owned by the State's scratch area and is valid
+// only until the next ProvisionEffective call on this State; callers that
+// need to keep it must Clone it.
+func (s *State) ProvisionEffective(ls *topology.LinkSet) *topology.LinkSet {
+	s.Reset()
+	sc := s.scratchBuf()
+	sc.links = ls.AppendLinks(sc.links[:0])
+	if sc.eff == nil || sc.eff.N != ls.N {
+		sc.eff = topology.NewLinkSet(ls.N)
+	} else {
+		clear(sc.eff.Count)
+	}
+	for _, l := range sc.links {
+		built := 0
+		for k := 0; k < l.Count; k++ {
+			if _, err := s.provision(l.U, l.V, false); err != nil {
+				break
+			}
+			built++
+		}
+		if built > 0 {
+			sc.eff.Add(l.U, l.V, built)
+		}
+	}
+	return sc.eff
 }

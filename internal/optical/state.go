@@ -11,6 +11,13 @@
 // remaining regenerators (to balance consumption); transform node weights to
 // edge weights in a directed graph; and pick feasible shortest paths,
 // checking wavelength availability hop by hop.
+//
+// Because the annealing search provisions thousands of candidate topologies
+// per slot, the mutable occupancy is kept flat (wavelength bitsets and
+// regenerator counts in dense slices indexed by fiber/site id), the static
+// reach adjacency is precomputed once in NewState, and every per-circuit
+// working buffer (regenerator transit graph, Dijkstra scratch, wavelength
+// scan sets) lives in a per-State scratch area that is reused across calls.
 package optical
 
 import (
@@ -61,6 +68,8 @@ func firstCommonFree(sets []waveSet, phi int) int {
 // Segment is one regeneration-free span of a circuit: a fiber path and the
 // wavelength it occupies on every fiber of that path.
 type Segment struct {
+	// FiberIDs aliases the State's immutable precomputed fiber-route
+	// tables; callers must treat it as read-only.
 	FiberIDs   []int
 	Wavelength int
 	LengthKm   float64
@@ -85,12 +94,15 @@ func (c *Circuit) LengthKm() float64 {
 
 // State is the mutable occupancy of the optical layer for one Network.
 type State struct {
-	net       *topology.Network
-	fiberUse  map[int]waveSet        // keyed by fiber ID (ids survive removals)
-	fiberByID map[int]topology.Fiber // fiber metadata by ID
-	regenFree []int                  // remaining regenerators per site
-	circuits  map[int]*Circuit
-	nextID    int
+	net *topology.Network
+	// fiberUse and fiberWaves are indexed by fiber ID (ids survive
+	// removals, so the slices are sized to the maximum id; removed ids
+	// hold a nil set and zero wavelengths).
+	fiberUse   []waveSet
+	fiberWaves []int
+	regenFree  []int // remaining regenerators per site
+	circuits   map[int]*Circuit
+	nextID     int
 	// unitRegenWeights disables the inverse-remaining regenerator
 	// balancing (ablation knob): every regenerator site weighs 1.
 	unitRegenWeights bool
@@ -102,6 +114,29 @@ type State struct {
 	pairDist [][]float64
 	pairPath [][][]int
 	pairAlts [][][]fiberRoute
+	// inReach[u*ns+v] caches pairDist[u][v] <= ReachKm && pairPath[u][v]
+	// != nil: whether a single unregenerated segment u->v can exist. This
+	// is the static reach adjacency of the regenerator transit graph,
+	// probed O(n²) times per findRegenRoute.
+	inReach []bool
+	// scratch holds the reusable per-circuit working buffers. It is owned
+	// by this State alone: Clone gives each clone a fresh lazy scratch, so
+	// clones stay safe to use concurrently.
+	scratch *provScratch
+}
+
+// provScratch is the per-State scratch area for provisioning. Everything
+// here is working memory whose contents are dead between exported calls;
+// buffers grow monotonically and are reused.
+type provScratch struct {
+	sets  []waveSet       // routeLambda wavelength scan buffer
+	nodes []int           // regenerator-graph node list
+	need  []int           // per-site regenerator need (routeBuildable)
+	hops  []int           // hopsOf result buffer
+	tg    *graph.Graph    // regenerator transit graph, Reset per route
+	sp    graph.Scratch   // Dijkstra/Yen scratch for tg
+	links []topology.Link // AppendLinks buffer (ProvisionEffective)
+	eff   *topology.LinkSet
 }
 
 // fiberRoute is one candidate fiber realization of a segment.
@@ -116,24 +151,32 @@ const kFiberPaths = 3
 // NewState builds an empty optical state for the network.
 func NewState(net *topology.Network) *State {
 	ns := net.NumSites()
+	maxID := 0
+	for _, f := range net.Fibers {
+		if f.ID > maxID {
+			maxID = f.ID
+		}
+	}
 	s := &State{
 		net:        net,
-		fiberUse:   make(map[int]waveSet, len(net.Fibers)),
-		fiberByID:  make(map[int]topology.Fiber, len(net.Fibers)),
+		fiberUse:   make([]waveSet, maxID+1),
+		fiberWaves: make([]int, maxID+1),
 		regenFree:  make([]int, ns),
 		circuits:   make(map[int]*Circuit),
 		fiberGraph: net.FiberGraph(),
 		pairDist:   make([][]float64, ns),
 		pairPath:   make([][][]int, ns),
 		pairAlts:   make([][][]fiberRoute, ns),
+		inReach:    make([]bool, ns*ns),
 	}
 	for _, f := range net.Fibers {
 		s.fiberUse[f.ID] = newWaveSet(f.Wavelengths)
-		s.fiberByID[f.ID] = f
+		s.fiberWaves[f.ID] = f.Wavelengths
 	}
 	for i, site := range net.Sites {
 		s.regenFree[i] = site.Regenerators
 	}
+	var sc graph.Scratch
 	for u := 0; u < ns; u++ {
 		s.pairDist[u] = s.fiberGraph.ShortestDistances(u)
 		s.pairPath[u] = make([][]int, ns)
@@ -142,7 +185,7 @@ func NewState(net *topology.Network) *State {
 			if u == v || math.IsInf(s.pairDist[u][v], 1) {
 				continue
 			}
-			paths := s.fiberGraph.KShortestPaths(u, v, kFiberPaths)
+			paths := s.fiberGraph.KShortestPathsScratch(&sc, u, v, kFiberPaths)
 			for pi, p := range paths {
 				ids := make([]int, len(p.Edges))
 				for i, e := range p.Edges {
@@ -156,23 +199,37 @@ func NewState(net *topology.Network) *State {
 					s.pairAlts[u][v] = append(s.pairAlts[u][v], fiberRoute{ids: ids, km: p.Weight})
 				}
 			}
+			s.inReach[u*ns+v] = s.pairDist[u][v] <= net.ReachKm && s.pairPath[u][v] != nil
 		}
 	}
 	return s
 }
 
+// scratchBuf returns the State's scratch area, allocating it on first use
+// (clones start without one, so cloning stays cheap).
+func (s *State) scratchBuf() *provScratch {
+	if s.scratch == nil {
+		s.scratch = &provScratch{
+			need: make([]int, s.net.NumSites()),
+			tg:   graph.New(0),
+		}
+	}
+	return s.scratch
+}
+
 // Clone returns an independent copy of the optical state: mutable occupancy
 // (wavelength bitsets, regenerator pools, live circuits) is deep-copied,
 // while the immutable precomputed fiber-layer route tables are shared with
-// the receiver. A clone may provision and release circuits concurrently with
-// other clones, which is what the parallel annealing engine's worker pool in
-// internal/core relies on: each worker owns a clone and evaluates candidate
-// topologies without touching shared mutable state.
+// the receiver and the per-State scratch is left behind (each clone grows
+// its own lazily). A clone may provision and release circuits concurrently
+// with other clones, which is what the parallel annealing engine's worker
+// pool in internal/core relies on: each worker owns a clone and evaluates
+// candidate topologies without touching shared mutable state.
 func (s *State) Clone() *State {
 	c := &State{
 		net:              s.net,
-		fiberUse:         make(map[int]waveSet, len(s.fiberUse)),
-		fiberByID:        s.fiberByID,
+		fiberUse:         make([]waveSet, len(s.fiberUse)),
+		fiberWaves:       s.fiberWaves,
 		regenFree:        append([]int(nil), s.regenFree...),
 		circuits:         make(map[int]*Circuit, len(s.circuits)),
 		nextID:           s.nextID,
@@ -181,9 +238,12 @@ func (s *State) Clone() *State {
 		pairDist:         s.pairDist,
 		pairPath:         s.pairPath,
 		pairAlts:         s.pairAlts,
+		inReach:          s.inReach,
 	}
 	for id, w := range s.fiberUse {
-		c.fiberUse[id] = append(waveSet(nil), w...)
+		if w != nil {
+			c.fiberUse[id] = append(waveSet(nil), w...)
+		}
 	}
 	for id, circ := range s.circuits {
 		c.circuits[id] = circ // circuits are immutable once provisioned
@@ -201,14 +261,19 @@ func (s *State) Reset() {
 	for i, site := range s.net.Sites {
 		s.regenFree[i] = site.Regenerators
 	}
-	s.circuits = make(map[int]*Circuit)
+	clear(s.circuits)
 }
 
 // RegenFree returns the number of spare regenerators at site v.
 func (s *State) RegenFree(v int) int { return s.regenFree[v] }
 
 // WavelengthsUsed returns the number of wavelengths in use on fiber f.
-func (s *State) WavelengthsUsed(f int) int { return s.fiberUse[f].popcount() }
+func (s *State) WavelengthsUsed(f int) int {
+	if f < 0 || f >= len(s.fiberUse) {
+		return 0
+	}
+	return s.fiberUse[f].popcount()
+}
 
 // Circuits returns the number of live circuits.
 func (s *State) Circuits() int { return len(s.circuits) }
@@ -231,13 +296,17 @@ func (s *State) SetUnitRegenWeights(on bool) { s.unitRegenWeights = on }
 // sites (nil if none). The slice is shared; callers must not mutate it.
 func (s *State) FiberPathIDs(u, v int) []int { return s.pairPath[u][v] }
 
+// canReach reports whether a single unregenerated segment u->v can exist
+// (precomputed reach adjacency).
+func (s *State) canReach(u, v int) bool { return s.inReach[u*s.net.NumSites()+v] }
+
 // segmentFeasible checks that some in-reach fiber route u->v has a common
 // free wavelength; it returns the route and wavelength, or a nil route.
 // The shortest fiber path is tried first, then the precomputed in-reach
 // alternates (the paper's canBeBuilt check walks candidate paths the same
 // way).
 func (s *State) segmentFeasible(u, v int) (fiberRoute, int) {
-	if s.pairDist[u][v] <= s.net.ReachKm && s.pairPath[u][v] != nil {
+	if s.canReach(u, v) {
 		if l := s.routeLambda(s.pairPath[u][v]); l >= 0 {
 			return fiberRoute{ids: s.pairPath[u][v], km: s.pairDist[u][v]}, l
 		}
@@ -251,23 +320,34 @@ func (s *State) segmentFeasible(u, v int) (fiberRoute, int) {
 }
 
 // routeLambda returns the lowest wavelength free on every fiber of the
-// route, or -1.
+// route, or -1. The scan sets live in the State scratch, so the per-segment
+// feasibility probe allocates nothing.
 func (s *State) routeLambda(ids []int) int {
-	sets := make([]waveSet, len(ids))
+	sc := s.scratchBuf()
+	sc.sets = sc.sets[:0]
 	phi := math.MaxInt
-	for i, id := range ids {
-		sets[i] = s.fiberUse[id]
-		if w := s.fiberByID[id].Wavelengths; w < phi {
+	for _, id := range ids {
+		sc.sets = append(sc.sets, s.fiberUse[id])
+		if w := s.fiberWaves[id]; w < phi {
 			phi = w
 		}
 	}
-	return firstCommonFree(sets, phi)
+	return firstCommonFree(sc.sets, phi)
 }
 
 // Provision establishes a circuit between src and dst, consuming wavelengths
 // and regenerators. It returns the circuit or an error if no feasible
 // combination of regenerator sites and wavelengths exists.
 func (s *State) Provision(src, dst int) (*Circuit, error) {
+	return s.provision(src, dst, true)
+}
+
+// provision implements Provision. With record == false it applies exactly
+// the same state mutations (wavelength claims, regenerator consumption, id
+// sequencing) but materializes no Circuit — the allocation-free mode behind
+// ProvisionEffective, where the annealing energy function only needs the
+// effective capacities.
+func (s *State) provision(src, dst int, record bool) (*Circuit, error) {
 	if src == dst {
 		return nil, fmt.Errorf("optical: circuit endpoints equal (%d)", src)
 	}
@@ -276,7 +356,10 @@ func (s *State) Provision(src, dst int) (*Circuit, error) {
 		return nil, err
 	}
 	// Realize every hop as a segment on a feasible fiber route.
-	c := &Circuit{ID: s.nextID, Src: src, Dst: dst}
+	var c *Circuit
+	if record {
+		c = &Circuit{ID: s.nextID, Src: src, Dst: dst}
+	}
 	for i := 0; i+1 < len(hops); i++ {
 		u, v := hops[i], hops[i+1]
 		route, lambda := s.segmentFeasible(u, v)
@@ -285,18 +368,23 @@ func (s *State) Provision(src, dst int) (*Circuit, error) {
 			// unless state changed concurrently.
 			return nil, fmt.Errorf("optical: segment %d-%d became infeasible", u, v)
 		}
-		seg := Segment{FiberIDs: append([]int(nil), route.ids...), Wavelength: lambda, LengthKm: route.km}
 		for _, id := range route.ids {
 			s.fiberUse[id].set(lambda)
 		}
-		c.Segments = append(c.Segments, seg)
+		if record {
+			c.Segments = append(c.Segments, Segment{FiberIDs: route.ids, Wavelength: lambda, LengthKm: route.km})
+		}
 		if i+1 < len(hops)-1 { // interior node regenerates
 			s.regenFree[v]--
-			c.RegenSites = append(c.RegenSites, v)
+			if record {
+				c.RegenSites = append(c.RegenSites, v)
+			}
 		}
 	}
 	s.nextID++
-	s.circuits[c.ID] = c
+	if record {
+		s.circuits[c.ID] = c
+	}
 	return c, nil
 }
 
@@ -325,25 +413,36 @@ func (s *State) Release(id int) error {
 // into edge weights on a directed graph (each directed edge carries the
 // weight of its head node, Figure 5 of the paper), and then iterates the
 // shortest feasible paths, checking per-segment wavelength availability.
+//
+// The transit graph, node list, and path scratch are reused from the
+// State's scratch area; the returned hop slice is also scratch-owned and
+// valid only until the next findRegenRoute call.
 func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 	// Fast path: a direct segment within reach with a free wavelength needs
 	// no regenerator graph at all. This covers the vast majority of circuits
 	// on continental topologies and keeps the annealing energy function fast.
 	if _, l := s.segmentFeasible(src, dst); l >= 0 {
-		return []int{src, dst}, nil
+		sc := s.scratchBuf()
+		sc.hops = append(sc.hops[:0], src, dst)
+		return sc.hops, nil
 	}
 	ns := s.net.NumSites()
+	sc := s.scratchBuf()
 	// Nodes of the regenerator graph: src, dst, and sites with spare regens.
-	nodes := []int{}
+	sc.nodes = sc.nodes[:0]
+	srcIdx, dstIdx := -1, -1
 	for v := 0; v < ns; v++ {
 		if v == src || v == dst || s.regenFree[v] > 0 {
-			nodes = append(nodes, v)
+			if v == src {
+				srcIdx = len(sc.nodes)
+			}
+			if v == dst {
+				dstIdx = len(sc.nodes)
+			}
+			sc.nodes = append(sc.nodes, v)
 		}
 	}
-	idx := make(map[int]int, len(nodes))
-	for i, v := range nodes {
-		idx[v] = i
-	}
+	nodes := sc.nodes
 	weight := func(v int) float64 {
 		if v == src || v == dst {
 			return 0
@@ -356,13 +455,14 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 		// weights are equal.
 		return 1/float64(s.regenFree[v]) + 1e-6
 	}
-	tg := graph.New(len(nodes))
+	tg := sc.tg
+	tg.Reset(len(nodes))
 	for i, u := range nodes {
 		for j, v := range nodes {
 			if i == j {
 				continue
 			}
-			if s.pairDist[u][v] <= s.net.ReachKm && s.pairPath[u][v] != nil {
+			if s.canReach(u, v) {
 				tg.AddEdge(i, j, weight(v), 0)
 			}
 		}
@@ -371,7 +471,7 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 	// k-shortest enumeration only when it is not buildable: wavelengths may
 	// be exhausted on some segment, or an interior site may be short of
 	// regenerators for a path that revisits it.
-	sp := tg.ShortestPath(idx[src], idx[dst])
+	sp := tg.ShortestPathScratch(&sc.sp, srcIdx, dstIdx)
 	if sp == nil {
 		return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
 	}
@@ -379,7 +479,7 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 		return hops, nil
 	}
 	const kPaths = 6
-	paths := tg.KShortestPaths(idx[src], idx[dst], kPaths)
+	paths := tg.KShortestPathsScratch(&sc.sp, srcIdx, dstIdx, kPaths)
 	for _, p := range paths {
 		hops := s.hopsOf(p, nodes)
 		if hops != nil && s.routeBuildable(hops) {
@@ -390,34 +490,47 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 }
 
 // hopsOf maps a path in the transformed regenerator graph back to site ids.
+// The result lives in the State scratch and is valid until the next hopsOf
+// or findRegenRoute call.
 func (s *State) hopsOf(p *graph.Path, nodes []int) []int {
 	verts := p.Vertices()
 	if verts == nil {
 		return nil
 	}
-	hops := make([]int, len(verts))
-	for i, vi := range verts {
-		hops[i] = nodes[vi]
+	sc := s.scratchBuf()
+	sc.hops = sc.hops[:0]
+	for _, vi := range verts {
+		sc.hops = append(sc.hops, nodes[vi])
 	}
-	return hops
+	return sc.hops
 }
 
 // routeBuildable verifies wavelengths for every hop and regenerator
 // availability at interior nodes.
 func (s *State) routeBuildable(hops []int) bool {
-	need := map[int]int{}
+	sc := s.scratchBuf()
+	ok := true
+	filled := 0
 	for i := 0; i+1 < len(hops); i++ {
 		if _, l := s.segmentFeasible(hops[i], hops[i+1]); l < 0 {
-			return false
+			ok = false
+			break
 		}
 		if i+1 < len(hops)-1 {
-			need[hops[i+1]]++
+			sc.need[hops[i+1]]++
+			filled = i + 1
 		}
 	}
-	for v, n := range need {
-		if s.regenFree[v] < n {
-			return false
+	if ok {
+		for i := 1; i+1 < len(hops); i++ {
+			if s.regenFree[hops[i]] < sc.need[hops[i]] {
+				ok = false
+				break
+			}
 		}
 	}
-	return true
+	for i := 1; i <= filled; i++ {
+		sc.need[hops[i]] = 0
+	}
+	return ok
 }

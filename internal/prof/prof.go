@@ -1,0 +1,70 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// command-line tools so hot paths can be inspected with `go tool pprof`
+// without ad-hoc instrumentation.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values for one command.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// Register declares -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling if requested and returns a stop function that
+// finishes the CPU profile and writes the heap profile. The stop function is
+// idempotent; call it explicitly before any os.Exit (defers do not run) and
+// defer it for the normal return path.
+func (f *Flags) Start() (func(), error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		var err error
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	done := false
+	stop := func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			mf.Close()
+		}
+	}
+	return stop, nil
+}

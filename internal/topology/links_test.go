@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestLinksOwnership pins the Links ownership contract: every call returns a
+// fresh slice the caller may reorder or mutate without affecting the LinkSet
+// or later calls (optical.ProvisionTopology historically sorted the result
+// in place, which would corrupt a shared slice).
+func TestLinksOwnership(t *testing.T) {
+	ls := NewLinkSet(5)
+	ls.Add(0, 1, 2)
+	ls.Add(1, 3, 1)
+	ls.Add(2, 4, 3)
+
+	a := ls.Links()
+	// Mutate the returned slice aggressively.
+	sort.Slice(a, func(i, j int) bool { return a[i].V > a[j].V })
+	for i := range a {
+		a[i].U, a[i].V, a[i].Count = 99, 99, 99
+	}
+
+	b := ls.Links()
+	if len(b) != 3 {
+		t.Fatalf("second Links() call has %d links, want 3", len(b))
+	}
+	want := []Link{{U: 0, V: 1, Count: 2}, {U: 1, V: 3, Count: 1}, {U: 2, V: 4, Count: 3}}
+	for i, l := range b {
+		if l != want[i] {
+			t.Errorf("link %d = %+v after mutating a prior result, want %+v", i, l, want[i])
+		}
+	}
+	if ls.Get(0, 1) != 2 || ls.Get(1, 3) != 1 || ls.Get(2, 4) != 3 {
+		t.Error("mutating a Links() result changed the LinkSet")
+	}
+}
+
+// TestLinksSorted pins the (U, V)-sorted enumeration order that both the
+// optical provisioning order and the flat allocator's edge-id minting rely
+// on for determinism.
+func TestLinksSorted(t *testing.T) {
+	ls := NewLinkSet(6)
+	// Insert in scrambled order; Links must still come out sorted.
+	ls.Add(4, 5, 1)
+	ls.Add(0, 3, 1)
+	ls.Add(2, 3, 1)
+	ls.Add(0, 1, 1)
+	ls.Add(1, 5, 1)
+	out := ls.Links()
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+			t.Fatalf("links not (U,V)-sorted: %+v before %+v", a, b)
+		}
+	}
+}
+
+// TestAppendLinksReusesBuffer documents AppendLinks: it appends onto the
+// given buffer (sorting only the appended region) so hot-path callers can
+// amortize the slice.
+func TestAppendLinksReusesBuffer(t *testing.T) {
+	ls := NewLinkSet(4)
+	ls.Add(2, 3, 1)
+	ls.Add(0, 1, 2)
+
+	buf := make([]Link, 0, 8)
+	out := ls.AppendLinks(buf)
+	if len(out) != 2 || &out[0] != &buf[:1][0] {
+		t.Fatal("AppendLinks should append into the provided buffer")
+	}
+	// Reuse with truncation, as the allocator does.
+	out2 := ls.AppendLinks(out[:0])
+	if len(out2) != 2 || out2[0] != (Link{U: 0, V: 1, Count: 2}) || out2[1] != (Link{U: 2, V: 3, Count: 1}) {
+		t.Fatalf("AppendLinks reuse produced %+v", out2)
+	}
+	// Appending after a prefix leaves the prefix untouched and sorts only
+	// the new region.
+	prefix := []Link{{U: 9, V: 9, Count: 9}}
+	out3 := ls.AppendLinks(prefix)
+	if out3[0] != (Link{U: 9, V: 9, Count: 9}) {
+		t.Fatalf("AppendLinks disturbed the existing prefix: %+v", out3)
+	}
+	if out3[1] != (Link{U: 0, V: 1, Count: 2}) || out3[2] != (Link{U: 2, V: 3, Count: 1}) {
+		t.Fatalf("AppendLinks appended region wrong: %+v", out3[1:])
+	}
+}

@@ -11,6 +11,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"owan/internal/graph"
@@ -163,19 +164,38 @@ type Link struct {
 	Count int
 }
 
-// Links returns the aggregated links in deterministic (sorted) order.
+// Links returns the aggregated links in deterministic order, sorted by
+// (U, V) ascending.
+//
+// Ownership contract: the returned slice is freshly allocated on every call
+// and owned by the caller, who may sort, truncate, or otherwise mutate it
+// freely without affecting the LinkSet or any other caller
+// (optical.ProvisionTopology relies on this when it orders the links it
+// provisions). Callers on an allocation-sensitive path should use
+// AppendLinks with a reused buffer instead.
 func (ls *LinkSet) Links() []Link {
-	out := make([]Link, 0, len(ls.Count))
+	return ls.AppendLinks(make([]Link, 0, len(ls.Count)))
+}
+
+// AppendLinks appends the aggregated links to buf in the same deterministic
+// (U, V)-sorted order as Links and returns the extended slice. Passing
+// buf[:0] of a retained buffer makes the enumeration allocation-free once
+// the buffer has grown to the topology's link count, which is what the flat
+// allocators in internal/alloc and internal/optical rely on in the
+// annealing energy hot path.
+func (ls *LinkSet) AppendLinks(buf []Link) []Link {
+	start := len(buf)
 	for k, c := range ls.Count {
-		out = append(out, Link{U: k[0], V: k[1], Count: c})
+		buf = append(buf, Link{U: k[0], V: k[1], Count: c})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
+	out := buf[start:]
+	slices.SortFunc(out, func(a, b Link) int {
+		if a.U != b.U {
+			return a.U - b.U
 		}
-		return out[i].V < out[j].V
+		return a.V - b.V
 	})
-	return out
+	return buf
 }
 
 // TotalCircuits returns the number of circuits summed over all links.
