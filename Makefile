@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare faults check
+.PHONY: build vet test race bench bench-compare bench-json bench-smoke faults check
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,18 @@ BASE ?= HEAD~1
 bench-compare:
 	sh scripts/benchcompare.sh $(BASE)
 
+# bench-json runs the annealing hot-path benchmarks and writes the results
+# as a JSON map (name -> ns/op, allocs/op; schema in DESIGN.md §8) so the
+# numbers can be committed and diffed across PRs.
+BENCH_JSON ?= BENCH_PR4.json
+bench-json:
+	sh scripts/benchjson.sh 'BenchmarkAnneal' $(BENCH_JSON)
+
+# bench-smoke compiles and runs every benchmark exactly once — a fast CI
+# guard that the benchmark harness itself keeps working.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
 # Fault-injection integration matrix: the end-to-end scenario (controller
 # killed mid-slot, one client partitioned, frames corrupted) must pass
 # deterministically for each seed, under the race detector. One `go test`
@@ -41,5 +53,6 @@ faults:
 	done
 
 # check is the tier-1 gate: clean build, vet, full tests, race-detected
-# internal tests, and the seeded fault-injection matrix.
-check: build vet test race faults
+# internal tests (including the delta differential harnesses), a one-shot
+# benchmark smoke, and the seeded fault-injection matrix.
+check: build vet test race bench-smoke faults

@@ -250,30 +250,51 @@ func BenchmarkFailureRecovery(b *testing.B) {
 // --- Parallel annealing engine (ISSUE 1 tentpole) ---
 
 // benchAnneal measures raw annealing throughput (iterations per second) on
-// the full 40-site ISP topology. Serial and parallel runs share BatchSize
-// so they walk the identical chain; only evaluation concurrency differs.
+// the full 40-site ISP topology. All variants share (Seed, BatchSize) so
+// they walk the identical chain; only the evaluation machinery differs.
 // MaxChurn is disabled so every iteration pays a full energy evaluation
 // (churn-rejected moves are nearly free and would mask the speedup).
-func benchAnneal(b *testing.B, workers int) {
+func benchAnneal(b *testing.B, workers int, delta bool) {
 	net := topology.ISP(40, 10, 1)
 	ts := ablationWorkload(b, net)
 	cfg := core.Config{
 		Net: net, Policy: transfer.SJF, Seed: 11,
 		MaxIterations: 160, BatchSize: 8, Workers: workers, MaxChurn: -1,
+		DeltaEval: delta,
 	}
 	b.ResetTimer()
-	iters := 0
+	iters, dHits, dFalls := 0, 0, 0
 	for i := 0; i < b.N; i++ {
 		o := core.New(cfg)
 		st := o.ComputeNetworkState(topology.InitialTopology(net), ts, 0, experiments.SlotSeconds)
 		iters += st.Stats.Iterations
+		dHits += st.Stats.DeltaHits
+		dFalls += st.Stats.DeltaFallbacks
 	}
 	b.ReportMetric(float64(iters)/b.Elapsed().Seconds(), "anneal-iters/s")
 	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	if delta {
+		b.ReportMetric(float64(dFalls)/float64(b.N), "delta-fallbacks/op")
+		if n := dHits + dFalls; n > 0 {
+			b.ReportMetric(100*float64(dHits)/float64(n), "delta-hit-%")
+		}
+	}
 }
 
-func BenchmarkAnnealSerial(b *testing.B)   { benchAnneal(b, 1) }
-func BenchmarkAnnealParallel(b *testing.B) { benchAnneal(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkAnnealSerial(b *testing.B) { benchAnneal(b, 1, false) }
+
+// BenchmarkAnnealDelta is the serial incremental evaluator: same chain as
+// AnnealSerial, candidates evaluated via snapshot deltas.
+func BenchmarkAnnealDelta(b *testing.B) { benchAnneal(b, 1, true) }
+
+// BenchmarkAnnealParallel is the production configuration and the PR's
+// headline number: worker-pool evaluation with DeltaEval on (lazy move-list
+// candidates, snapshot delta provisioning, patched warm allocation).
+func BenchmarkAnnealParallel(b *testing.B) { benchAnneal(b, runtime.GOMAXPROCS(0), true) }
+
+// BenchmarkAnnealParallelCold isolates the worker pool without the delta
+// path, i.e. the pre-delta parallel engine.
+func BenchmarkAnnealParallelCold(b *testing.B) { benchAnneal(b, runtime.GOMAXPROCS(0), false) }
 
 // BenchmarkAnnealMemoized shows what the energy cache buys on a small
 // topology whose swap moves frequently revisit states while cooling.

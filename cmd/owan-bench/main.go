@@ -32,8 +32,10 @@ func main() {
 		figSel  = flag.String("fig", "all", "figure to run: fig7|fig8|fig9|fig10a|fig10b|fig10c|fig10d|validation|failure|all")
 		topo    = flag.String("topo", "all", "topology for fig7/8/9: internet2|isp|interdc|all")
 		outdir  = flag.String("outdir", "", "directory for per-figure data files (optional)")
-		workers = flag.Int("workers", 0, "annealing energy-evaluation goroutines (0 = serial; see core.Config.Workers)")
+		workers = flag.Int("workers", 0, "annealing energy-evaluation goroutines and per-figure simulation runs in flight (0 = serial; see core.Config.Workers)")
+		batch   = flag.Int("batch", 0, "annealing candidate batch per temperature step (0 = workers; pin it when comparing -workers values — batch is part of the search semantics)")
 		cache   = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
+		delta   = flag.Bool("delta", false, "incremental candidate evaluation (core.Config.DeltaEval); results identical for a seed either way")
 		pf      = prof.Register()
 	)
 	flag.Parse()
@@ -48,7 +50,10 @@ func main() {
 		sc = experiments.FullScale()
 	}
 	sc.OwanWorkers = *workers
+	sc.OwanBatch = *batch
 	sc.OwanEnergyCache = *cache
+	sc.OwanDeltaEval = *delta
+	sc.FigWorkers = *workers
 	topos := experiments.AllTopos
 	if *topo != "all" {
 		topos = []experiments.TopoKind{experiments.TopoKind(*topo)}

@@ -34,6 +34,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "energy-evaluation goroutines (0 = serial; results identical for a seed either way)")
 		batch     = flag.Int("batch", 0, "candidate batch per temperature step (0 = workers; part of the search semantics)")
 		cache     = flag.Int("cache", 0, "energy memoization cache entries (0 = off)")
+		delta     = flag.Bool("delta", false, "incremental candidate evaluation (core.Config.DeltaEval); results identical for a seed either way")
 		heartbeat = flag.Duration("heartbeat", controlplane.DefaultReadTimeout, "declare a client dead after this much silence (clients ping every 10s by default)")
 	)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.BatchSize = *batch
 	cfg.EnergyCacheSize = *cache
+	cfg.DeltaEval = *delta
 	ctrl, err := controlplane.NewController(cfg, slot.Seconds(), nil)
 	if err != nil {
 		log.Fatal(err)

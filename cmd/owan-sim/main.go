@@ -34,7 +34,9 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay transfer requests from a JSON trace file")
 		traceOut = flag.String("save-trace", "", "write the generated workload to a JSON trace file")
 		workers  = flag.Int("workers", 0, "annealing energy-evaluation goroutines (0 = serial)")
+		batch    = flag.Int("batch", 0, "annealing candidate batch per temperature step (0 = workers; pin it when comparing -workers values — batch is part of the search semantics)")
 		cache    = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
+		delta    = flag.Bool("delta", false, "incremental candidate evaluation (snapshot deltas; same results, less wall-clock)")
 		pf       = prof.Register()
 	)
 	flag.Parse()
@@ -49,7 +51,9 @@ func main() {
 		sc = experiments.FullScale()
 	}
 	sc.OwanWorkers = *workers
+	sc.OwanBatch = *batch
 	sc.OwanEnergyCache = *cache
+	sc.OwanDeltaEval = *delta
 	var reqs []transfer.Request
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"owan/internal/topology"
+)
+
+// TestEnergyCacheCollisionGuard is the regression test for the PR 1 cache's
+// collision hazard: two different topologies whose keys land in the same
+// bucket must never be confused. Real 64-bit FNV collisions are impractical
+// to construct, but the cache API takes the hash as an argument, so the test
+// simulates a collision exactly as one would occur: two distinct link-set
+// keys inserted under one hash value. The full key-byte verification on hit
+// must keep them apart.
+func TestEnergyCacheCollisionGuard(t *testing.T) {
+	a := topology.NewLinkSet(4)
+	a.Add(0, 1, 1)
+	a.Add(2, 3, 1)
+	b := topology.NewLinkSet(4)
+	b.Add(0, 2, 1)
+	b.Add(1, 3, 1)
+	keyA := a.AppendKey(nil)
+	keyB := b.AppendKey(nil)
+	if string(keyA) == string(keyB) {
+		t.Fatal("fixture broken: the two link sets encode identically")
+	}
+
+	c := newEnergyCache(8)
+	const collidingHash = 0xdeadbeef
+	c.put(collidingHash, keyA, 1.5)
+	c.put(collidingHash, keyB, 2.5)
+
+	if e, ok := c.get(collidingHash, keyA); !ok || e != 1.5 {
+		t.Fatalf("colliding key A: got (%v, %v), want (1.5, true)", e, ok)
+	}
+	if e, ok := c.get(collidingHash, keyB); !ok || e != 2.5 {
+		t.Fatalf("colliding key B: got (%v, %v), want (2.5, true)", e, ok)
+	}
+	// A third key sharing the hash but never inserted must miss, not match.
+	other := topology.NewLinkSet(4)
+	other.Add(0, 3, 2)
+	if _, ok := c.get(collidingHash, other.AppendKey(nil)); ok {
+		t.Fatal("uninserted key hit on hash match alone")
+	}
+}
+
+// TestEnergyCacheKeyBufferReuse: put must copy the key, because the
+// evaluator reuses its per-candidate key buffers every batch.
+func TestEnergyCacheKeyBufferReuse(t *testing.T) {
+	c := newEnergyCache(8)
+	buf := []byte("topology-one")
+	c.put(7, buf, 1.0)
+	copy(buf, "TOPOLOGY-two") // clobber the caller's buffer
+	if e, ok := c.get(7, []byte("topology-one")); !ok || e != 1.0 {
+		t.Fatalf("entry lost after caller buffer reuse: (%v, %v)", e, ok)
+	}
+	if _, ok := c.get(7, buf); ok {
+		t.Fatal("clobbered buffer contents found in cache")
+	}
+}
+
+// TestEnergyCacheEviction: LRU eviction must remove entries from both the
+// list and their hash bucket, including when several keys share a bucket.
+func TestEnergyCacheEviction(t *testing.T) {
+	c := newEnergyCache(2)
+	c.put(1, []byte("a"), 1)
+	c.put(1, []byte("b"), 2) // same bucket
+	c.put(2, []byte("c"), 3) // evicts "a" (oldest)
+	if _, ok := c.get(1, []byte("a")); ok {
+		t.Fatal("evicted entry still served")
+	}
+	if e, ok := c.get(1, []byte("b")); !ok || e != 2 {
+		t.Fatalf("surviving bucket-mate lost: (%v, %v)", e, ok)
+	}
+	if e, ok := c.get(2, []byte("c")); !ok || e != 3 {
+		t.Fatalf("newest entry lost: (%v, %v)", e, ok)
+	}
+	if got := len(c.m[1]); got != 1 {
+		t.Fatalf("bucket 1 holds %d entries after eviction, want 1", got)
+	}
+	// Refreshing an existing key must not grow the cache or duplicate it.
+	c.put(1, []byte("b"), 20)
+	if e, _ := c.get(1, []byte("b")); e != 20 {
+		t.Fatalf("refresh did not update energy: %v", e)
+	}
+	if c.ll.Len() != 2 {
+		t.Fatalf("cache holds %d entries after refresh, want 2", c.ll.Len())
+	}
+}

@@ -76,6 +76,19 @@ type Config struct {
 	// cooling). 0 disables caching. The cache never changes results —
 	// only whether an energy is recomputed.
 	EnergyCacheSize int
+	// DeltaEval enables incremental candidate evaluation: per accepted base
+	// topology the optical layer is provisioned once and frozen as a
+	// snapshot, and each candidate (which differs by a few swapped circuits)
+	// is evaluated by releasing/provisioning only the changed links with an
+	// undo journal, feeding a patched warm path in the allocator. Candidates
+	// are generated as move lists and materialized only on acceptance. A
+	// delta whose trust gate fails (scarce wavelengths or regenerators,
+	// alternate routes, wavelength contention with a released fiber) falls
+	// back to the cold path and is counted in SearchStats.DeltaFallbacks.
+	// The trajectory is bit-identical to DeltaEval off: move generation
+	// consumes the RNG draw-for-draw like ComputeNeighbor, and trusted delta
+	// energies equal cold energies exactly (see internal/optical/delta.go).
+	DeltaEval bool
 	// Seed makes the probabilistic search reproducible.
 	Seed int64
 }
@@ -136,6 +149,15 @@ type SearchStats struct {
 	// WorkerEvals[i] is how many energies evaluator worker i computed
 	// (one slot for serial runs). Its spread shows pool utilization.
 	WorkerEvals []int
+	// DeltaHits counts candidate energies computed on the trusted
+	// incremental path; DeltaFallbacks counts deltas whose trust gate failed
+	// and were recomputed cold. Both stay zero with DeltaEval off.
+	// DeltaHits + DeltaFallbacks == the delta-mode energy evaluations.
+	DeltaHits      int
+	DeltaFallbacks int
+	// SnapshotBuilds counts full base provisions frozen for the delta path
+	// (one per accepted base topology the search evaluated candidates from).
+	SnapshotBuilds int
 }
 
 // NetworkState is the controller's output for one slot: the target
@@ -157,8 +179,14 @@ type Owan struct {
 	al  *alloc.Allocator
 	rng *rand.Rand
 	// onCacheHit, when set (tests), observes every energy-cache hit with
-	// the candidate topology and the energy the cache returned.
+	// the candidate topology and the energy the cache returned. Only the
+	// classic (materialized) path invokes it; delta-mode cache activity is
+	// visible through SearchStats instead.
 	onCacheHit func(s *topology.LinkSet, energy float64)
+	// Scratch for delta-mode neighbor generation (see delta.go).
+	nbAcc    []pairDelta
+	nbPatch  []topology.Link
+	nbMerged []topology.Link
 }
 
 // New creates a controller core for a network.
@@ -294,6 +322,13 @@ func (o *Owan) swapOnce(s *topology.LinkSet) *topology.LinkSet {
 	return nil
 }
 
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 func canonEq(a, b, c, d int) bool {
 	if a > b {
 		a, b = b, a
@@ -343,9 +378,30 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 	defer ev.close()
 
 	T0 := T
+	useDelta := o.cfg.DeltaEval
 	cands := make([]*topology.LinkSet, 0, o.cfg.BatchSize)
 	needEval := make([]bool, 0, o.cfg.BatchSize)
 	var energies []float64
+	// Delta-mode candidate state: candidates exist as move lists until
+	// accepted (movesBuf reuses per-slot buffers across batches; mats holds
+	// this batch's lazily materialized topologies). linksCur/totalCur/
+	// churnCur cache the enumeration, circuit count and churn of sCur, and
+	// baseSeq counts sCur replacements so the evaluator knows when to
+	// rebuild its snapshot (pointer identity is unreliable once old bases
+	// are garbage).
+	var (
+		movesBuf [][]swapMove
+		mats     []*topology.LinkSet
+		linksCur []topology.Link
+		curValid bool
+		totalCur int
+		churnCur int
+		baseSeq  int
+	)
+	if useDelta {
+		movesBuf = make([][]swapMove, o.cfg.BatchSize)
+		mats = make([]*topology.LinkSet, o.cfg.BatchSize)
+	}
 	stop := false
 	for !stop && stats.Iterations < o.cfg.MaxIterations {
 		if T <= epsilon {
@@ -362,50 +418,112 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 			break
 		}
 
-		// Generate the batch. Every candidate is a full topology derived
-		// from the same sCur; candidates outside the churn trust region
-		// around the slot's starting topology are rejected without an
-		// energy evaluation (the move would not be deployable as an
-		// incremental update) but still consume an iteration and a cooling
-		// step, exactly like the serial chain.
+		// Generate the batch. Every candidate derives from the same sCur;
+		// candidates outside the churn trust region around the slot's
+		// starting topology are rejected without an energy evaluation (the
+		// move would not be deployable as an incremental update) but still
+		// consume an iteration and a cooling step, exactly like the serial
+		// chain. In delta mode a candidate is its move list and the churn
+		// bound is applied incrementally over the touched pairs; both paths
+		// draw from the RNG identically, so the trajectories coincide.
 		k := o.cfg.BatchSize
 		if rem := o.cfg.MaxIterations - stats.Iterations; k > rem {
 			k = rem
 		}
+		nCand := 0
 		cands = cands[:0]
 		needEval = needEval[:0]
-		for len(cands) < k {
-			sN := o.ComputeNeighbor(sCur)
-			if sN == nil {
-				stop = true
+		if useDelta {
+			if !curValid {
+				linksCur = sCur.AppendLinks(linksCur[:0])
+				totalCur = sCur.TotalCircuits()
+				if o.cfg.MaxChurn > 0 {
+					churnCur = current.Diff(sCur)
+				}
+				curValid = true
+			}
+			for nCand < k {
+				mv, ok := o.neighborMoves(sCur, linksCur, totalCur, movesBuf[nCand][:0])
+				movesBuf[nCand] = mv
+				if !ok {
+					stop = true
+					break
+				}
+				ne := true
+				if o.cfg.MaxChurn > 0 {
+					churnN := churnCur
+					o.nbAcc = accumMoves(mv, o.nbAcc[:0])
+					for _, pd := range o.nbAcc {
+						cur := current.Get(pd.u, pd.v)
+						b := sCur.Get(pd.u, pd.v)
+						churnN += abs(cur-b-pd.d) - abs(cur-b)
+					}
+					ne = churnN <= o.cfg.MaxChurn
+				}
+				needEval = append(needEval, ne)
+				nCand++
+			}
+			if nCand == 0 {
 				break
 			}
-			cands = append(cands, sN)
-			needEval = append(needEval, !(o.cfg.MaxChurn > 0 && current.Diff(sN) > o.cfg.MaxChurn))
+			energies = ev.energiesDelta(sCur, linksCur, baseSeq, movesBuf[:nCand], needEval, energies)
+		} else {
+			for len(cands) < k {
+				sN := o.ComputeNeighbor(sCur)
+				if sN == nil {
+					stop = true
+					break
+				}
+				cands = append(cands, sN)
+				needEval = append(needEval, !(o.cfg.MaxChurn > 0 && current.Diff(sN) > o.cfg.MaxChurn))
+			}
+			if len(cands) == 0 {
+				break
+			}
+			energies = ev.energies(cands, needEval, energies)
 		}
-		if len(cands) == 0 {
-			break
-		}
-		energies = ev.energies(cands, needEval, energies)
 
 		// Deterministic reduction: walk the batch in generation order,
 		// applying acceptance against the evolving current state. An
 		// accepted candidate replaces sCur for the rest of the batch even
 		// though later candidates were generated from the older state —
 		// they are complete topologies, so adopting them stays valid.
-		for i, sN := range cands {
+		// Delta-mode candidates materialize here, only when they become the
+		// best or the current state (best and accept share the clone).
+		batchBase := sCur
+		for i := range needEval {
 			stats.Iterations++
 			if !needEval[i] {
 				T *= o.cfg.Alpha
 				continue
 			}
 			eN := energies[i]
+			var sN *topology.LinkSet
+			if !useDelta {
+				sN = cands[i]
+			}
 			if eN > eBest {
+				if useDelta {
+					if mats[i] == nil {
+						mats[i] = materializeMoves(batchBase, movesBuf[i])
+					}
+					sN = mats[i]
+				}
 				sBest, eBest = sN, eN
 			}
 			if accept(eCur, eN, T, o.rng) {
+				if useDelta && sN == nil {
+					if mats[i] == nil {
+						mats[i] = materializeMoves(batchBase, movesBuf[i])
+					}
+					sN = mats[i]
+				}
 				sCur, eCur = sN, eN
 				stats.Accepted++
+				if useDelta {
+					curValid = false
+					baseSeq++
+				}
 			}
 			T *= o.cfg.Alpha
 			if T <= epsilon {
@@ -415,6 +533,9 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 				}
 				T = T0
 			}
+		}
+		for i := 0; i < nCand; i++ {
+			mats[i] = nil
 		}
 	}
 	ev.finish(&stats)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"container/list"
 
 	"owan/internal/alloc"
@@ -10,8 +11,8 @@ import (
 
 // This file implements the batch evaluation machinery behind the annealing
 // search: a worker pool where every worker owns a cloned optical.State (so
-// ProvisionTopology never shares mutable state across goroutines) and an LRU
-// energy memoization cache keyed by topology.LinkSet.Key().
+// provisioning never shares mutable state across goroutines) and an LRU
+// energy memoization cache keyed by the canonical topology encoding.
 //
 // Determinism contract: the search trajectory is a pure function of
 // (Config.Seed, Config.BatchSize). Neighbor generation and acceptance both
@@ -19,19 +20,30 @@ import (
 // only compute energies, which are pure functions of (topology, demands) and
 // therefore identical no matter which goroutine computes them or in which
 // order results arrive. Workers and GOMAXPROCS never change the result.
+//
+// With Config.DeltaEval the pool additionally carries the incremental
+// evaluation state: one immutable optical.Snapshot of the current base
+// topology, rebuilt whenever the search accepts a move (ev.snapGen counts
+// rebuilds), which workers load once and then evaluate candidates against
+// via ProvisionDelta + ThroughputPatched + RevertDelta. A delta whose trust
+// gate fails is recomputed on the cold path and counted in DeltaFallbacks —
+// never silently diverged.
 
-// energyCache is an LRU map from canonical topology keys to energies. It is
-// only ever touched by the coordinating goroutine, so it needs no locking.
-// Energies depend on the demand set, which changes every slot, so the cache
-// lives for one ComputeNetworkState invocation.
+// energyCache is an LRU map from canonical topology keys to energies,
+// bucketed by a 64-bit hash with full key-byte verification on every hit, so
+// a hash collision can never return the wrong energy. It is only ever
+// touched by the coordinating goroutine, so it needs no locking. Energies
+// depend on the demand set, which changes every slot, so the cache lives for
+// one ComputeNetworkState invocation.
 type energyCache struct {
 	cap int
-	m   map[string]*list.Element
+	m   map[uint64][]*list.Element
 	ll  *list.List // front = most recently used
 }
 
 type cacheEntry struct {
-	key    string
+	hash   uint64
+	key    []byte
 	energy float64
 }
 
@@ -39,41 +51,86 @@ func newEnergyCache(capacity int) *energyCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &energyCache{cap: capacity, m: make(map[string]*list.Element, capacity), ll: list.New()}
+	return &energyCache{cap: capacity, m: make(map[uint64][]*list.Element, capacity), ll: list.New()}
 }
 
-func (c *energyCache) get(key string) (float64, bool) {
-	el, ok := c.m[key]
-	if !ok {
-		return 0, false
+// get returns the cached energy for the exact key, verifying the full key
+// bytes — the hash only selects the bucket.
+func (c *energyCache) get(hash uint64, key []byte) (float64, bool) {
+	for _, el := range c.m[hash] {
+		if e := el.Value.(cacheEntry); bytes.Equal(e.key, key) {
+			c.ll.MoveToFront(el)
+			return e.energy, true
+		}
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(cacheEntry).energy, true
+	return 0, false
 }
 
-func (c *energyCache) put(key string, energy float64) {
-	if el, ok := c.m[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value = cacheEntry{key: key, energy: energy}
-		return
+// put inserts or refreshes an entry. The key is copied: callers reuse their
+// key buffers across batches.
+func (c *energyCache) put(hash uint64, key []byte, energy float64) {
+	bucket := c.m[hash]
+	for _, el := range bucket {
+		if e := el.Value.(cacheEntry); bytes.Equal(e.key, key) {
+			el.Value = cacheEntry{hash: hash, key: e.key, energy: energy}
+			c.ll.MoveToFront(el)
+			return
+		}
 	}
-	c.m[key] = c.ll.PushFront(cacheEntry{key: key, energy: energy})
+	el := c.ll.PushFront(cacheEntry{hash: hash, key: append([]byte(nil), key...), energy: energy})
+	c.m[hash] = append(bucket, el)
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(cacheEntry).key)
+		e := oldest.Value.(cacheEntry)
+		b := c.m[e.hash]
+		for i, x := range b {
+			if x == oldest {
+				b[i] = b[len(b)-1]
+				b = b[:len(b)-1]
+				break
+			}
+		}
+		if len(b) == 0 {
+			delete(c.m, e.hash)
+		} else {
+			c.m[e.hash] = b
+		}
 	}
 }
 
-// evalJob asks a worker to compute the energy of candidate cands[idx].
+// evalJob asks a worker for the energy of one candidate: a materialized
+// topology (classic mode) or a move list against the current snapshot base
+// (delta mode; s stays nil and the worker materializes only on fallback).
 type evalJob struct {
-	idx int
-	s   *topology.LinkSet
+	idx   int
+	s     *topology.LinkSet
+	moves []swapMove
 }
 
 type evalResult struct {
 	idx    int
 	energy float64
+}
+
+// workerCtx is the per-goroutine evaluation state: an exclusively owned
+// (optical state, allocator) pair plus the delta journal and scratch.
+// loadedGen tracks which snapshot generation the optical state currently
+// holds (-1 after a cold evaluation trashed it); baseGen tracks which
+// generation the allocator's warm base corresponds to.
+type workerCtx struct {
+	opt *optical.State
+	al  *alloc.Allocator
+
+	j              optical.Journal
+	acc            []pairDelta
+	removed, added []topology.Link
+	// Cold-fallback scratch: the candidate's requested-count patch, its
+	// merged (U, V)-sorted enumeration, and the effective enumeration the
+	// provisioner builds from it.
+	patch, merged, eff []topology.Link
+	loadedGen          int
+	baseGen            int
 }
 
 // evaluator computes candidate energies for one search invocation, either
@@ -95,6 +152,26 @@ type evaluator struct {
 
 	// pending reuses the per-batch job buffer across batches.
 	pending []evalJob
+
+	// Delta-mode state. snap is rebuilt (generation snapGen) whenever the
+	// base topology changes; between batch barriers it is immutable and
+	// shared read-only with the workers, as is base (read only on the cold
+	// fallback path). ctx0 is the inline context for workers <= 1 and wraps
+	// the controller's own state.
+	delta         bool
+	snap          optical.Snapshot
+	snapGen       int
+	snapSeq       int // baseSeq the snapshot was built for
+	base          *topology.LinkSet
+	baseLinks     []topology.Link // base's sorted enumeration, set per batch
+	builds        int
+	dHits, dFalls []int // per worker slot, like evals
+	ctx0          workerCtx
+	keyBufs       [][]byte
+	hashes        []uint64
+	accKey        []pairDelta
+	patchKey      []topology.Link
+	mergedKey     []topology.Link
 }
 
 // newEvaluator starts the pool. With workers <= 1 no goroutines are spawned
@@ -105,17 +182,25 @@ func newEvaluator(o *Owan, demands []alloc.Demand) *evaluator {
 		demands: demands,
 		workers: o.cfg.Workers,
 		cache:   newEnergyCache(o.cfg.EnergyCacheSize),
+		delta:   o.cfg.DeltaEval,
 	}
 	if ev.workers < 1 {
 		ev.workers = 1
 	}
 	ev.evals = make([]int, ev.workers)
+	ev.dHits = make([]int, ev.workers)
+	ev.dFalls = make([]int, ev.workers)
+	ev.snapSeq = -1
+	ev.ctx0 = workerCtx{opt: o.opt, al: o.al, loadedGen: -1, baseGen: -1}
 	if ev.workers > 1 {
 		ev.jobs = make(chan evalJob, o.cfg.BatchSize)
 		ev.results = make(chan evalResult, o.cfg.BatchSize)
 		ev.done = make(chan struct{})
 		for w := 0; w < ev.workers; w++ {
-			go ev.worker(w, o.opt.Clone(), alloc.NewAllocator())
+			go ev.worker(w, &workerCtx{
+				opt: o.opt.Clone(), al: alloc.NewAllocator(),
+				loadedGen: -1, baseGen: -1,
+			})
 		}
 	}
 	return ev
@@ -125,17 +210,123 @@ func newEvaluator(o *Owan, demands []alloc.Demand) *evaluator {
 // the pool closes. Owning both means a worker's steady-state energy
 // evaluations reuse the same scratch buffers job after job, so the hot loop
 // does not allocate.
-func (ev *evaluator) worker(id int, opt *optical.State, al *alloc.Allocator) {
+func (ev *evaluator) worker(id int, ctx *workerCtx) {
 	theta := ev.o.cfg.Net.ThetaGbps
 	for {
 		select {
 		case job := <-ev.jobs:
 			ev.evals[id]++ // exclusive slot; read by coordinator after the batch barrier
-			ev.results <- evalResult{idx: job.idx, energy: energyOn(opt, al, theta, job.s, ev.demands)}
+			if job.moves != nil {
+				e, hit := ev.deltaEnergy(ctx, job.moves)
+				if hit {
+					ev.dHits[id]++
+				} else {
+					ev.dFalls[id]++
+				}
+				ev.results <- evalResult{idx: job.idx, energy: e}
+			} else {
+				ev.results <- evalResult{idx: job.idx, energy: energyOn(ctx.opt, ctx.al, theta, job.s, ev.demands)}
+			}
 		case <-ev.done:
 			return
 		}
 	}
+}
+
+// deltaEnergy evaluates one move-list candidate against the current
+// snapshot: load the snapshot occupancy if this context doesn't hold it,
+// apply the net link deltas through ProvisionDelta, and — when the trust
+// gate passes — run the allocator's patched warm path. An untrusted delta is
+// reverted and recomputed cold (materializing the candidate), which trashes
+// the context's occupancy and warm base; the generation counters bring both
+// back on the next trusted evaluation. Reports whether the trusted fast path
+// was taken.
+func (ev *evaluator) deltaEnergy(ctx *workerCtx, moves []swapMove) (float64, bool) {
+	theta := ev.o.cfg.Net.ThetaGbps
+	ctx.acc = accumMoves(moves, ctx.acc[:0])
+	// The snapshot's own trust bits gate every delta against it: if the base
+	// provisioning had a resource-driven shortfall or a resource is near
+	// exhaustion, no delta can ever be trusted, so skip the attempt (and the
+	// snapshot load it needs) and go straight to the cold evaluation.
+	// Statically infeasible base links are fine — they build zero circuits
+	// in every provisioning order (see optical.Snapshot.TrustedBase).
+	if ev.snap.TrustedBase() {
+		if ctx.loadedGen != ev.snapGen {
+			ctx.opt.LoadSnapshot(&ev.snap)
+			ctx.loadedGen = ev.snapGen
+		}
+		if ctx.baseGen != ev.snapGen {
+			ctx.al.SetBaseLinks(ev.snap.N(), ev.snap.EffLinks(), theta)
+			ctx.baseGen = ev.snapGen
+		}
+		ctx.removed, ctx.added = ctx.removed[:0], ctx.added[:0]
+		for _, pd := range ctx.acc {
+			if pd.d < 0 {
+				ctx.removed = append(ctx.removed, topology.Link{U: pd.u, V: pd.v, Count: -pd.d})
+			} else {
+				ctx.added = append(ctx.added, topology.Link{U: pd.u, V: pd.v, Count: pd.d})
+			}
+		}
+		patch, trusted := ctx.opt.ProvisionDelta(&ev.snap, ctx.removed, ctx.added, &ctx.j)
+		if trusted {
+			e := ctx.al.ThroughputPatched(patch, ev.demands)
+			ctx.opt.RevertDelta(&ctx.j)
+			return e, true
+		}
+		ctx.opt.RevertDelta(&ctx.j)
+	}
+	// Cold fallback, on flat enumerations end to end: merge the move patch
+	// into the base enumeration (exactly what materializing the candidate
+	// and re-enumerating it would produce), provision it, and allocate on
+	// the effective links — the same circuit and allocation sequence as a
+	// from-scratch evaluation, with no LinkSet built on either side.
+	ctx.patch = ctx.patch[:0]
+	for _, pd := range ctx.acc {
+		ctx.patch = append(ctx.patch, topology.Link{U: pd.u, V: pd.v, Count: linksGet(ev.baseLinks, pd.u, pd.v) + pd.d})
+	}
+	ctx.merged = topology.MergePatch(ctx.merged[:0], ev.baseLinks, ctx.patch)
+	ctx.loadedGen = -1 // the cold provisioning below overwrites the occupancy
+	ctx.eff = ctx.opt.ProvisionEffectiveLinks(ctx.merged, ctx.eff[:0])
+	return ctx.al.ThroughputLinks(ev.snap.N(), ctx.eff, theta, ev.demands), false
+}
+
+// runPending evaluates the batch's uncached jobs, inline or on the pool.
+func (ev *evaluator) runPending(out []float64) {
+	if ev.workers <= 1 {
+		for _, job := range ev.pending {
+			ev.evals[0]++
+			if job.moves != nil {
+				e, hit := ev.deltaEnergy(&ev.ctx0, job.moves)
+				if hit {
+					ev.dHits[0]++
+				} else {
+					ev.dFalls[0]++
+				}
+				out[job.idx] = e
+			} else {
+				out[job.idx] = ev.o.Energy(job.s, ev.demands)
+			}
+		}
+		return
+	}
+	for _, job := range ev.pending {
+		ev.jobs <- job
+	}
+	for range ev.pending {
+		r := <-ev.results
+		out[r.idx] = r.energy
+	}
+}
+
+func (ev *evaluator) sizeOut(n int, out []float64) []float64 {
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
 }
 
 // energies returns the energy of every candidate with needEval[i] set; other
@@ -143,25 +334,20 @@ func (ev *evaluator) worker(id int, opt *optical.State, al *alloc.Allocator) {
 // coordinating goroutine, so a batch containing a previously seen topology
 // costs no evaluation at all.
 func (ev *evaluator) energies(cands []*topology.LinkSet, needEval []bool, out []float64) []float64 {
-	if cap(out) < len(cands) {
-		out = make([]float64, len(cands))
-	}
-	out = out[:len(cands)]
-	for i := range out {
-		out[i] = 0
-	}
+	out = ev.sizeOut(len(cands), out)
 	ev.pending = ev.pending[:0]
-	var keys []string
 	if ev.cache != nil {
-		keys = make([]string, len(cands))
+		ev.growKeys(len(cands))
 	}
 	for i, s := range cands {
 		if !needEval[i] {
 			continue
 		}
 		if ev.cache != nil {
-			keys[i] = s.Key()
-			if e, ok := ev.cache.get(keys[i]); ok {
+			key := s.AppendKey(ev.keyBufs[i][:0])
+			ev.keyBufs[i] = key
+			ev.hashes[i] = topology.KeyHash(key)
+			if e, ok := ev.cache.get(ev.hashes[i], key); ok {
 				ev.hits++
 				out[i] = e
 				if ev.o.onCacheHit != nil {
@@ -173,26 +359,91 @@ func (ev *evaluator) energies(cands []*topology.LinkSet, needEval []bool, out []
 		ev.pending = append(ev.pending, evalJob{idx: i, s: s})
 	}
 	ev.misses += len(ev.pending)
-	if ev.workers <= 1 {
-		for _, job := range ev.pending {
-			out[job.idx] = ev.o.Energy(job.s, ev.demands)
-			ev.evals[0]++
-		}
-	} else {
-		for _, job := range ev.pending {
-			ev.jobs <- job
-		}
-		for range ev.pending {
-			r := <-ev.results
-			out[r.idx] = r.energy
-		}
-	}
+	ev.runPending(out)
 	if ev.cache != nil {
 		for _, job := range ev.pending {
-			ev.cache.put(keys[job.idx], out[job.idx])
+			ev.cache.put(ev.hashes[job.idx], ev.keyBufs[job.idx], out[job.idx])
 		}
 	}
 	return out
+}
+
+// energiesDelta is the DeltaEval counterpart of energies: candidates are
+// move lists against base. baseLinks must be base's sorted enumeration, and
+// baseSeq a counter the caller bumps whenever base changes — it gates the
+// snapshot rebuild (pointer identity is not enough, since a later base clone
+// can reuse a freed address). The snapshot build runs on the controller's
+// own optical state between batch barriers, so no worker is touching its
+// clone concurrently.
+func (ev *evaluator) energiesDelta(base *topology.LinkSet, baseLinks []topology.Link, baseSeq int, moves [][]swapMove, needEval []bool, out []float64) []float64 {
+	out = ev.sizeOut(len(moves), out)
+	ev.baseLinks = baseLinks
+	if baseSeq != ev.snapSeq {
+		ev.o.opt.BuildSnapshot(&ev.snap, base)
+		ev.snapGen++
+		ev.snapSeq = baseSeq
+		ev.base = base
+		ev.builds++
+		// BuildSnapshot left the controller's state holding exactly the
+		// snapshot occupancy; the inline context is that same state.
+		if ev.workers <= 1 {
+			ev.ctx0.loadedGen = ev.snapGen
+		}
+	}
+	ev.pending = ev.pending[:0]
+	if ev.cache != nil {
+		ev.growKeys(len(moves))
+	}
+	for i, mv := range moves {
+		if !needEval[i] {
+			continue
+		}
+		if ev.cache != nil {
+			key, h := ev.deltaKey(i, base, baseLinks, mv)
+			if e, ok := ev.cache.get(h, key); ok {
+				ev.hits++
+				out[i] = e
+				continue
+			}
+		}
+		ev.pending = append(ev.pending, evalJob{idx: i, moves: mv})
+	}
+	ev.misses += len(ev.pending)
+	ev.runPending(out)
+	if ev.cache != nil {
+		for _, job := range ev.pending {
+			ev.cache.put(ev.hashes[job.idx], ev.keyBufs[job.idx], out[job.idx])
+		}
+	}
+	return out
+}
+
+// deltaKey computes candidate i's canonical cache key without materializing
+// it: merge the move patch into the retained base enumeration and encode.
+// The encoding is pinned byte-identical to LinkSet.Key, so delta-mode and
+// classic entries interoperate.
+func (ev *evaluator) deltaKey(i int, base *topology.LinkSet, baseLinks []topology.Link, moves []swapMove) ([]byte, uint64) {
+	ev.accKey = accumMoves(moves, ev.accKey[:0])
+	ev.patchKey = ev.patchKey[:0]
+	for _, pd := range ev.accKey {
+		ev.patchKey = append(ev.patchKey, topology.Link{U: pd.u, V: pd.v, Count: base.Get(pd.u, pd.v) + pd.d})
+	}
+	ev.mergedKey = topology.MergePatch(ev.mergedKey[:0], baseLinks, ev.patchKey)
+	key := topology.AppendKeyFromLinks(ev.keyBufs[i][:0], base.N, ev.mergedKey)
+	ev.keyBufs[i] = key
+	h := topology.KeyHash(key)
+	ev.hashes[i] = h
+	return key, h
+}
+
+func (ev *evaluator) growKeys(n int) {
+	for len(ev.keyBufs) < n {
+		ev.keyBufs = append(ev.keyBufs, nil)
+	}
+	if cap(ev.hashes) < n {
+		ev.hashes = make([]uint64, n)
+	}
+	ev.hashes = ev.hashes[:n]
 }
 
 // finish stops the workers and copies the counters into stats.
@@ -201,6 +452,13 @@ func (ev *evaluator) finish(stats *SearchStats) {
 	stats.CacheHits = ev.hits
 	stats.CacheMisses = ev.misses
 	stats.WorkerEvals = append([]int(nil), ev.evals...)
+	stats.SnapshotBuilds = ev.builds
+	for _, h := range ev.dHits {
+		stats.DeltaHits += h
+	}
+	for _, f := range ev.dFalls {
+		stats.DeltaFallbacks += f
+	}
 }
 
 // close stops the worker pool; it is idempotent.

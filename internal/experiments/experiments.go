@@ -48,12 +48,28 @@ type Scale struct {
 	// Seeds is the number of workload seeds averaged per data point.
 	Seeds int
 	// OwanWorkers is the parallelism degree of the annealing energy
-	// evaluation (0 or 1 = serial; results are identical either way, only
-	// wall-clock changes — see core.Config.Workers).
+	// evaluation (0 or 1 = serial — see core.Config.Workers). Results are
+	// invariant to it only when OwanBatch pins the batch size: BatchSize
+	// defaults to Workers, and the batch size IS part of the search
+	// semantics.
 	OwanWorkers int
+	// OwanBatch pins the annealing candidate batch per temperature step
+	// (0 = core's default, which tracks OwanWorkers). Pin it when
+	// comparing worker counts: for a fixed (seed, batch) the trajectory
+	// is bit-identical at any OwanWorkers.
+	OwanBatch int
 	// OwanEnergyCache bounds the per-search energy memoization cache in
 	// entries (0 disables).
 	OwanEnergyCache int
+	// OwanDeltaEval enables incremental candidate evaluation in the
+	// annealing search (see core.Config.DeltaEval). The trajectory is
+	// bit-identical either way; only wall-clock changes.
+	OwanDeltaEval bool
+	// FigWorkers bounds the number of simulation runs a figure generator
+	// executes concurrently (0 or 1 = serial). Figure output is
+	// bit-identical for any value: runs are independent simulations and
+	// per-figure aggregation always happens in the serial order.
+	FigWorkers int
 }
 
 // FullScale is the paper-faithful configuration.
@@ -151,7 +167,9 @@ func Scheduler(name string, net *topology.Network, sc Scale, deadlines bool, see
 	owanCfg.MaxIterations = sc.OwanIterations
 	owanCfg.TimeBudget = budget
 	owanCfg.Workers = sc.OwanWorkers
+	owanCfg.BatchSize = sc.OwanBatch
 	owanCfg.EnergyCacheSize = sc.OwanEnergyCache
+	owanCfg.DeltaEval = sc.OwanDeltaEval
 	owanCfg.Seed = seed
 	if err := owanCfg.Validate(); err != nil {
 		return nil, err

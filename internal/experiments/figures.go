@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"owan/internal/core"
@@ -39,39 +40,107 @@ type runStats struct {
 	completionTimes []float64
 }
 
-// collect runs an approach over the configured seeds and averages.
-func collect(topo TopoKind, approach string, load, sigma float64, sc Scale) (*runStats, error) {
-	agg := &runStats{binAvgCT: map[metrics.Bin]float64{}, binMetPct: map[metrics.Bin]float64{}}
-	n := float64(sc.Seeds)
-	for seed := 0; seed < sc.Seeds; seed++ {
-		res, err := Run(RunSpec{
-			Topo: topo, Approach: approach, Load: load,
-			DeadlineFactor: sigma, Seed: int64(seed*997 + 13), Scale: sc,
+// cellSpec names one (approach, load, σ) simulation cell of a figure.
+type cellSpec struct {
+	approach    string
+	load, sigma float64
+}
+
+// accumulate folds one seed's simulation result into a cell aggregate.
+// n is the seed count; calling it once per seed in seed order reproduces
+// the original serial collect loop float-for-float.
+func (agg *runStats) accumulate(res *sim.Result, sigma, n float64) {
+	ct := metrics.CompletionTimes(res.Transfers, SlotSeconds)
+	agg.completionTimes = append(agg.completionTimes, ct...)
+	agg.avgCT += metrics.Mean(ct) / n
+	agg.p95CT += metrics.Percentile(ct, 95) / n
+	if !math.IsInf(res.MakespanSeconds, 1) {
+		agg.makespan += res.MakespanSeconds / n
+	}
+	bins := metrics.BinBySize(res.Transfers)
+	for _, b := range []metrics.Bin{metrics.Small, metrics.Middle, metrics.Large} {
+		agg.binAvgCT[b] += metrics.Mean(metrics.CompletionTimes(bins[b], SlotSeconds)) / n
+		if sigma > 0 {
+			agg.binMetPct[b] += metrics.Deadlines(bins[b], SlotSeconds).TransfersMetPct / n
+		}
+	}
+	if sigma > 0 {
+		d := metrics.Deadlines(res.Transfers, SlotSeconds)
+		agg.deadline.TransfersMetPct += d.TransfersMetPct / n
+		agg.deadline.BytesMetPct += d.BytesMetPct / n
+	}
+}
+
+// collectCells runs every (cell × seed) simulation of a figure on a bounded
+// worker pool (sc.FigWorkers goroutines; 0 or 1 = serial) and returns one
+// aggregate per cell, in cell order. Runs are independent end-to-end
+// simulations, and each cell is folded over its seeds in seed order after
+// all runs finish, so the output is bit-identical for any worker count.
+// On error, the first failing run in (cell, seed) order wins, so error
+// reporting is deterministic too.
+func collectCells(topo TopoKind, cells []cellSpec, sc Scale) ([]*runStats, error) {
+	type job struct{ cell, seed int }
+	jobs := make([]job, 0, len(cells)*sc.Seeds)
+	for c := range cells {
+		for s := 0; s < sc.Seeds; s++ {
+			jobs = append(jobs, job{c, s})
+		}
+	}
+	results := make([]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	run := func(i int) {
+		j := jobs[i]
+		results[i], errs[i] = Run(RunSpec{
+			Topo: topo, Approach: cells[j.cell].approach, Load: cells[j.cell].load,
+			DeadlineFactor: cells[j.cell].sigma, Seed: int64(j.seed*997 + 13), Scale: sc,
 		})
+	}
+	if workers := min(sc.FigWorkers, len(jobs)); workers > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			run(i)
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		ct := metrics.CompletionTimes(res.Transfers, SlotSeconds)
-		agg.completionTimes = append(agg.completionTimes, ct...)
-		agg.avgCT += metrics.Mean(ct) / n
-		agg.p95CT += metrics.Percentile(ct, 95) / n
-		if !math.IsInf(res.MakespanSeconds, 1) {
-			agg.makespan += res.MakespanSeconds / n
-		}
-		bins := metrics.BinBySize(res.Transfers)
-		for _, b := range []metrics.Bin{metrics.Small, metrics.Middle, metrics.Large} {
-			agg.binAvgCT[b] += metrics.Mean(metrics.CompletionTimes(bins[b], SlotSeconds)) / n
-			if sigma > 0 {
-				agg.binMetPct[b] += metrics.Deadlines(bins[b], SlotSeconds).TransfersMetPct / n
-			}
-		}
-		if sigma > 0 {
-			d := metrics.Deadlines(res.Transfers, SlotSeconds)
-			agg.deadline.TransfersMetPct += d.TransfersMetPct / n
-			agg.deadline.BytesMetPct += d.BytesMetPct / n
-		}
 	}
-	return agg, nil
+	out := make([]*runStats, len(cells))
+	n := float64(sc.Seeds)
+	for c := range cells {
+		agg := &runStats{binAvgCT: map[metrics.Bin]float64{}, binMetPct: map[metrics.Bin]float64{}}
+		for s := 0; s < sc.Seeds; s++ {
+			agg.accumulate(results[c*sc.Seeds+s], cells[c].sigma, n)
+		}
+		out[c] = agg
+	}
+	return out, nil
+}
+
+// collect runs one approach over the configured seeds and averages.
+func collect(topo TopoKind, approach string, load, sigma float64, sc Scale) (*runStats, error) {
+	out, err := collectCells(topo, []cellSpec{{approach, load, sigma}}, sc)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
 }
 
 // Fig7 reproduces Figure 7 for one topology: (a) factor of improvement on
@@ -83,16 +152,24 @@ func Fig7(topo TopoKind, sc Scale) ([]*figdata.Figure, error) {
 	fb := figdata.NewFigure("fig7b-"+sub, "Improvement by size bin at load 1 ("+sub+")", "bin", "factor")
 	fc := figdata.NewFigure("fig7c-"+sub, "Completion time CDF at load 1 ("+sub+")", "seconds", "fraction")
 
+	var cells []cellSpec
 	for _, load := range Loads {
-		owan, err := collect(topo, "owan", load, 0, sc)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cellSpec{"owan", load, 0})
 		for _, base := range fig7Baselines {
-			st, err := collect(topo, base, load, 0, sc)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cellSpec{base, load, 0})
+		}
+	}
+	stats, err := collectCells(topo, cells, sc)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, load := range Loads {
+		owan := stats[k]
+		k++
+		for _, base := range fig7Baselines {
+			st := stats[k]
+			k++
 			fa.Add("vs-"+base+"-avg", load, metrics.FactorOfImprovement(owan.avgCT, st.avgCT))
 			fa.Add("vs-"+base+"-p95", load, metrics.FactorOfImprovement(owan.p95CT, st.p95CT))
 			if load == 1 {
@@ -125,16 +202,24 @@ func addCDF(f *figdata.Figure, name string, xs []float64) {
 // Fig8 reproduces Figure 8: makespan improvement factor versus load.
 func Fig8(topo TopoKind, sc Scale) (*figdata.Figure, error) {
 	f := figdata.NewFigure("fig8-"+string(topo), "Improvement on makespan ("+string(topo)+")", "load", "factor")
+	var cells []cellSpec
 	for _, load := range Loads {
-		owan, err := collect(topo, "owan", load, 0, sc)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cellSpec{"owan", load, 0})
 		for _, base := range fig7Baselines {
-			st, err := collect(topo, base, load, 0, sc)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cellSpec{base, load, 0})
+		}
+	}
+	stats, err := collectCells(topo, cells, sc)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, load := range Loads {
+		owan := stats[k]
+		k++
+		for _, base := range fig7Baselines {
+			st := stats[k]
+			k++
 			f.Add("vs-"+base, load, metrics.FactorOfImprovement(owan.makespan, st.makespan))
 		}
 	}
@@ -149,12 +234,21 @@ func Fig9(topo TopoKind, sc Scale) ([]*figdata.Figure, error) {
 	fa := figdata.NewFigure("fig9a-"+sub, "% transfers meeting deadlines ("+sub+")", "sigma", "percent")
 	fb := figdata.NewFigure("fig9b-"+sub, "% bytes before deadlines ("+sub+")", "sigma", "percent")
 	fc := figdata.NewFigure("fig9c-"+sub, "% transfers meeting deadlines by bin at sigma=20 ("+sub+")", "bin", "percent")
+	var cells []cellSpec
 	for _, sigma := range DeadlineFactors {
 		for _, ap := range fig9Approaches {
-			st, err := collect(topo, ap, 1.0, sigma, sc)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cellSpec{ap, 1.0, sigma})
+		}
+	}
+	stats, err := collectCells(topo, cells, sc)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, sigma := range DeadlineFactors {
+		for _, ap := range fig9Approaches {
+			st := stats[k]
+			k++
 			fa.Add(ap, sigma, st.deadline.TransfersMetPct)
 			fb.Add(ap, sigma, st.deadline.BytesMetPct)
 			if sigma == 20 {
@@ -308,13 +402,23 @@ func Fig10c(sc Scale) (*figdata.Figure, error) {
 		load float64
 		avg  float64
 	}
-	var cells []cell
+	approaches := []string{"rate-only", "rate-routing", "owan"}
+	var specs []cellSpec
 	for _, load := range Loads {
-		for _, ap := range []string{"rate-only", "rate-routing", "owan"} {
-			st, err := collect(InterDC, ap, load, 0, sc)
-			if err != nil {
-				return nil, err
-			}
+		for _, ap := range approaches {
+			specs = append(specs, cellSpec{ap, load, 0})
+		}
+	}
+	stats, err := collectCells(InterDC, specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var cells []cell
+	k := 0
+	for _, load := range Loads {
+		for _, ap := range approaches {
+			st := stats[k]
+			k++
 			label := map[string]string{"rate-only": "rate", "rate-routing": "+rout.", "owan": "+topo."}[ap]
 			cells = append(cells, cell{label, load, st.avgCT})
 			if ap == "owan" && load == Loads[0] {

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigWorkersDeterministic asserts the figure-collection contract: the
+// per-cell aggregates are bit-identical whether the (cell × seed) runs
+// execute serially or on a worker pool. Two seeds per cell so the
+// seed-order aggregation path is exercised, not just the dispatch.
+func TestFigWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	sc := quick()
+	sc.HorizonSlots = 3
+	sc.OwanIterations = 60
+	sc.Seeds = 2
+	cells := []cellSpec{
+		{"owan", 1, 0},
+		{"maxflow", 1, 0},
+		{"swan", 0.5, 0},
+		{"owan", 1, 10},
+	}
+
+	sc.FigWorkers = 1
+	serial, err := collectCells(Internet2, cells, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.FigWorkers = 4
+	parallel, err := collectCells(Internet2, cells, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("cell %d (%+v): serial %+v != parallel %+v", i, cells[i], serial[i], parallel[i])
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Scratch holds the per-query buffers of the shortest-path routines so that
 // repeated queries — the regenerator-route searches the optical layer issues
@@ -13,7 +16,13 @@ type Scratch struct {
 	prev []Edge
 	seen []bool
 	h    heap
-	sub  *Graph // filtered-copy graph reused by KShortestPathsScratch
+	// Yen's-algorithm spur filters, reused by KShortestPathsScratch: the
+	// root-path vertices removed for the current spur search and the
+	// (from,to,id) triples of banned deviation edges. The banned set holds at
+	// most one edge per already-found path (≤ k entries), so a linear scan
+	// beats any hashed structure.
+	removed []bool
+	banned  [][3]int
 }
 
 // grow sizes the buffers for a graph with n vertices.
@@ -41,6 +50,65 @@ func (g *Graph) Reset(n int) {
 		g.adj[i] = g.adj[i][:0]
 	}
 	g.n = n
+}
+
+// MaskShortestNodeWeighted runs Dijkstra over the vertex set given by the
+// set bits of nodeMask (vertex ids below 64), where a directed edge u->v
+// exists iff bit v of reach[u]&nodeMask is set and carries the weight of
+// its HEAD node, w[v] — the node-weighted transit-graph transform of the
+// optical layer, evaluated without materializing the graph. The vertex
+// sequence src..dst is appended to hops; ok reports reachability.
+//
+// Results are bit-identical to building the transit graph over the same
+// vertex set (neighbors enumerated in ascending id order) and running
+// ShortestPathScratch on it: the push sequence this loop feeds the heap is
+// value- and order-identical, the heap breaks distance ties purely by array
+// position, and the relaxation test is the same strict comparison — so the
+// same path falls out, just without the O(V²) edge-list build.
+func MaskShortestNodeWeighted(sc *Scratch, reach []uint64, nodeMask uint64, w []float64, src, dst int, hops []int) (_ []int, ok bool) {
+	n := len(reach)
+	sc.grow(n)
+	dist, prev := sc.dist, sc.prev
+	for m := nodeMask; m != 0; m &= m - 1 {
+		v := bits.TrailingZeros64(m)
+		dist[v] = math.Inf(1)
+		prev[v].From = -1
+	}
+	dist[src] = 0
+	var seen uint64
+	sc.h = sc.h[:0]
+	sc.h.push(item{src, 0})
+	for len(sc.h) > 0 {
+		it := sc.h.pop()
+		if seen>>uint(it.v)&1 == 1 {
+			continue
+		}
+		seen |= 1 << uint(it.v)
+		if it.v == dst {
+			break
+		}
+		du := dist[it.v]
+		for m := reach[it.v] & nodeMask; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros64(m)
+			if nd := du + w[v]; nd < dist[v] {
+				dist[v] = nd
+				prev[v].From = it.v
+				sc.h.push(item{v, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return hops, false
+	}
+	i := len(hops)
+	for v := dst; v != src; v = prev[v].From {
+		hops = append(hops, v)
+	}
+	hops = append(hops, src)
+	for a, b := i, len(hops)-1; a < b; a, b = a+1, b-1 {
+		hops[a], hops[b] = hops[b], hops[a]
+	}
+	return hops, true
 }
 
 // ShortestPathScratch is ShortestPath with caller-owned scratch buffers: the
@@ -85,10 +153,68 @@ func (g *Graph) ShortestPathScratch(sc *Scratch, src, dst int) *Path {
 	return &Path{Edges: edges, Weight: dist[dst]}
 }
 
+// shortestPathFiltered is ShortestPathScratch restricted to the subgraph
+// obtained by deleting the vertices marked in removed and the individual
+// edges listed in banned. Removed vertices are skipped on the relaxation
+// side; since no edge into them ever relaxes, they are never expanded, which
+// is exactly equivalent to deleting them (the spur source is never removed).
+func (g *Graph) shortestPathFiltered(sc *Scratch, src, dst int, removed []bool, banned [][3]int) *Path {
+	sc.grow(g.n)
+	dist, prev, seen := sc.dist, sc.prev, sc.seen
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = Edge{From: -1}
+		seen[i] = false
+	}
+	dist[src] = 0
+	sc.h = sc.h[:0]
+	sc.h.push(item{src, 0})
+	for len(sc.h) > 0 {
+		it := sc.h.pop()
+		if seen[it.v] {
+			continue
+		}
+		seen[it.v] = true
+		if it.v == dst {
+			break
+		}
+		for _, e := range g.adj[it.v] {
+			if removed[e.To] || bannedEdge(banned, e) {
+				continue
+			}
+			if nd := dist[it.v] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = e
+				sc.h.push(item{e.To, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	var edges []Edge
+	for v := dst; v != src; v = prev[v].From {
+		edges = append(edges, prev[v])
+	}
+	reverse(edges)
+	return &Path{Edges: edges, Weight: dist[dst]}
+}
+
+func bannedEdge(banned [][3]int, e Edge) bool {
+	for _, b := range banned {
+		if b[0] == e.From && b[1] == e.To && b[2] == e.ID {
+			return true
+		}
+	}
+	return false
+}
+
 // KShortestPathsScratch is KShortestPaths with caller-owned scratch: all
-// internal Dijkstra runs share sc's buffers and the filtered spur graphs
-// reuse one retained Graph instead of allocating a fresh one per spur node.
-// Results are identical to KShortestPaths.
+// internal Dijkstra runs share sc's buffers, and the per-spur-node filtering
+// happens inline during edge relaxation instead of materializing a filtered
+// copy of the graph. Results are identical to KShortestPaths: the filtered
+// search relaxes exactly the edges the subgraph copy would contain, in the
+// same order, so ties break the same way.
 func (g *Graph) KShortestPathsScratch(sc *Scratch, src, dst, k int) []*Path {
 	if k <= 0 {
 		return nil
@@ -97,8 +223,12 @@ func (g *Graph) KShortestPathsScratch(sc *Scratch, src, dst, k int) []*Path {
 	if first == nil {
 		return nil
 	}
-	if sc.sub == nil {
-		sc.sub = New(g.n)
+	if cap(sc.removed) < g.n {
+		sc.removed = make([]bool, g.n)
+	}
+	removed := sc.removed[:g.n]
+	for i := range removed {
+		removed[i] = false
 	}
 	result := []*Path{first}
 	var candidates []*Path
@@ -108,31 +238,21 @@ func (g *Graph) KShortestPathsScratch(sc *Scratch, src, dst, k int) []*Path {
 		for i := 0; i < len(prevPath.Edges); i++ {
 			spurNode := prevVerts[i]
 			rootEdges := prevPath.Edges[:i]
-			banned := make(map[[3]int]bool) // from,to,id
+			banned := sc.banned[:0]
 			for _, p := range result {
 				if pathHasPrefix(p, rootEdges) && len(p.Edges) > i {
 					e := p.Edges[i]
-					banned[[3]int{e.From, e.To, e.ID}] = true
+					banned = append(banned, [3]int{e.From, e.To, e.ID})
 				}
 			}
-			removedVerts := make(map[int]bool)
+			sc.banned = banned
 			for _, v := range prevVerts[:i] {
-				removedVerts[v] = true
+				removed[v] = true
 			}
-			sub := sc.sub
-			sub.Reset(g.n)
-			for v := 0; v < g.n; v++ {
-				if removedVerts[v] {
-					continue
-				}
-				for _, e := range g.adj[v] {
-					if removedVerts[e.To] || banned[[3]int{e.From, e.To, e.ID}] {
-						continue
-					}
-					sub.AddEdge(e.From, e.To, e.Weight, e.ID)
-				}
+			spur := g.shortestPathFiltered(sc, spurNode, dst, removed, banned)
+			for _, v := range prevVerts[:i] {
+				removed[v] = false
 			}
-			spur := sub.ShortestPathScratch(sc, spurNode, dst)
 			if spur == nil {
 				continue
 			}

@@ -103,3 +103,27 @@ func (s *State) ProvisionEffective(ls *topology.LinkSet) *topology.LinkSet {
 	}
 	return sc.eff
 }
+
+// ProvisionEffectiveLinks is ProvisionEffective for callers that already
+// hold the (U, V)-sorted enumeration of the requested topology: it provisions
+// the same circuit sequence and appends the effective enumeration to effOut —
+// exactly what AppendLinks of ProvisionEffective's result would yield — with
+// no LinkSet walked on the way in or materialized on the way out. This is the
+// cold-fallback path of the annealing delta evaluator, which evaluates
+// candidates as merged enumerations without ever building them as LinkSets.
+func (s *State) ProvisionEffectiveLinks(links []topology.Link, effOut []topology.Link) []topology.Link {
+	s.Reset()
+	for _, l := range links {
+		built := 0
+		for k := 0; k < l.Count; k++ {
+			if _, err := s.provision(l.U, l.V, false); err != nil {
+				break
+			}
+			built++
+		}
+		if built > 0 {
+			effOut = append(effOut, topology.Link{U: l.U, V: l.V, Count: built})
+		}
+	}
+	return effOut
+}

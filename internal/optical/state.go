@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"owan/internal/graph"
 	"owan/internal/topology"
@@ -119,6 +120,19 @@ type State struct {
 	// is the static reach adjacency of the regenerator transit graph,
 	// probed O(n²) times per findRegenRoute.
 	inReach []bool
+	// regenReach[u*ns+v] reports whether a circuit u->v can be provisioned
+	// on an EMPTY network: some hop sequence exists in which every hop is
+	// within optical reach and every interior site has a nonzero static
+	// regenerator pool. A pair failing this test fails in every provisioning
+	// order and under any occupancy, which the delta trust gate exploits: a
+	// statically infeasible circuit is an order-independent shortfall, not a
+	// resource signal.
+	regenReach []bool
+	// reachMask[u] packs row u of inReach into one word when the network has
+	// at most 64 sites (nil otherwise): the transit-graph adjacency as
+	// bitmasks, consumed by graph.MaskShortestNodeWeighted so the common
+	// regenerator-route query never materializes the transit graph.
+	reachMask []uint64
 	// scratch holds the reusable per-circuit working buffers. It is owned
 	// by this State alone: Clone gives each clone a fresh lazy scratch, so
 	// clones stay safe to use concurrently.
@@ -131,6 +145,7 @@ type State struct {
 type provScratch struct {
 	sets  []waveSet       // routeLambda wavelength scan buffer
 	nodes []int           // regenerator-graph node list
+	nodeW []float64       // per-site node weights (mask Dijkstra)
 	need  []int           // per-site regenerator need (routeBuildable)
 	hops  []int           // hopsOf result buffer
 	tg    *graph.Graph    // regenerator transit graph, Reset per route
@@ -148,6 +163,135 @@ type fiberRoute struct {
 // kFiberPaths is how many fiber routes per site pair a segment may try.
 const kFiberPaths = 3
 
+// routeTables is the immutable fiber-layer precomputation of one network:
+// all-pairs shortest fiber distances, the primary and alternate fiber routes
+// per site pair, and the static reach adjacency. Everything here is a pure
+// function of the Network, read-only after construction, and shared by every
+// State built on that network.
+type routeTables struct {
+	fiberGraph *graph.Graph
+	pairDist   [][]float64
+	pairPath   [][][]int
+	pairAlts   [][][]fiberRoute
+	inReach    []bool
+	regenReach []bool
+	reachMask  []uint64
+}
+
+// The route-table cache: building the tables runs an all-pairs k-shortest-
+// path sweep, which dominates NewState, yet callers routinely rebuild states
+// on the same network (the controller re-provisions every slot; experiments
+// evaluate many algorithms per topology cell). A small LRU keyed by Network
+// identity makes every rebuild after the first free. The cache is bounded so
+// transient networks (one per figure cell) cannot accumulate; identical
+// results from racing builders make the race benign, so the lock is dropped
+// during the expensive build.
+const routeCacheSize = 8
+
+var (
+	routeMu    sync.Mutex
+	routeCache []*struct {
+		net *topology.Network
+		rt  *routeTables
+	}
+)
+
+func lookupRouteTables(net *topology.Network) *routeTables {
+	routeMu.Lock()
+	for i, e := range routeCache {
+		if e.net == net {
+			copy(routeCache[1:i+1], routeCache[:i])
+			routeCache[0] = e
+			routeMu.Unlock()
+			return e.rt
+		}
+	}
+	routeMu.Unlock()
+	rt := buildRouteTables(net)
+	routeMu.Lock()
+	if len(routeCache) == routeCacheSize {
+		routeCache = routeCache[:routeCacheSize-1]
+	}
+	routeCache = append([]*struct {
+		net *topology.Network
+		rt  *routeTables
+	}{{net, rt}}, routeCache...)
+	routeMu.Unlock()
+	return rt
+}
+
+func buildRouteTables(net *topology.Network) *routeTables {
+	ns := net.NumSites()
+	rt := &routeTables{
+		fiberGraph: net.FiberGraph(),
+		pairDist:   make([][]float64, ns),
+		pairPath:   make([][][]int, ns),
+		pairAlts:   make([][][]fiberRoute, ns),
+		inReach:    make([]bool, ns*ns),
+	}
+	var sc graph.Scratch
+	for u := 0; u < ns; u++ {
+		rt.pairDist[u] = rt.fiberGraph.ShortestDistances(u)
+		rt.pairPath[u] = make([][]int, ns)
+		rt.pairAlts[u] = make([][]fiberRoute, ns)
+		for v := 0; v < ns; v++ {
+			if u == v || math.IsInf(rt.pairDist[u][v], 1) {
+				continue
+			}
+			paths := rt.fiberGraph.KShortestPathsScratch(&sc, u, v, kFiberPaths)
+			for pi, p := range paths {
+				ids := make([]int, len(p.Edges))
+				for i, e := range p.Edges {
+					ids[i] = e.ID
+				}
+				if pi == 0 {
+					rt.pairPath[u][v] = ids
+				} else if p.Weight <= net.ReachKm {
+					// Alternates are only useful if they themselves stay
+					// within optical reach.
+					rt.pairAlts[u][v] = append(rt.pairAlts[u][v], fiberRoute{ids: ids, km: p.Weight})
+				}
+			}
+			rt.inReach[u*ns+v] = rt.pairDist[u][v] <= net.ReachKm && rt.pairPath[u][v] != nil
+		}
+	}
+	if ns <= 64 {
+		rt.reachMask = make([]uint64, ns)
+		for u := 0; u < ns; u++ {
+			for v := 0; v < ns; v++ {
+				if rt.inReach[u*ns+v] {
+					rt.reachMask[u] |= 1 << uint(v)
+				}
+			}
+		}
+	}
+	// Static regenerator reachability: one BFS per source over the reach
+	// adjacency, expanding only through sites whose static regenerator pool
+	// is nonzero (the source itself needs no regenerator to transmit).
+	rt.regenReach = make([]bool, ns*ns)
+	queue := make([]int, 0, ns)
+	seen := make([]bool, ns)
+	for u := 0; u < ns; u++ {
+		clear(seen)
+		seen[u] = true
+		queue = append(queue[:0], u)
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			for v := 0; v < ns; v++ {
+				if seen[v] || !rt.inReach[x*ns+v] {
+					continue
+				}
+				seen[v] = true
+				rt.regenReach[u*ns+v] = true
+				if net.Sites[v].Regenerators > 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return rt
+}
+
 // NewState builds an empty optical state for the network.
 func NewState(net *topology.Network) *State {
 	ns := net.NumSites()
@@ -157,17 +301,20 @@ func NewState(net *topology.Network) *State {
 			maxID = f.ID
 		}
 	}
+	rt := lookupRouteTables(net)
 	s := &State{
 		net:        net,
 		fiberUse:   make([]waveSet, maxID+1),
 		fiberWaves: make([]int, maxID+1),
 		regenFree:  make([]int, ns),
 		circuits:   make(map[int]*Circuit),
-		fiberGraph: net.FiberGraph(),
-		pairDist:   make([][]float64, ns),
-		pairPath:   make([][][]int, ns),
-		pairAlts:   make([][][]fiberRoute, ns),
-		inReach:    make([]bool, ns*ns),
+		fiberGraph: rt.fiberGraph,
+		pairDist:   rt.pairDist,
+		pairPath:   rt.pairPath,
+		pairAlts:   rt.pairAlts,
+		inReach:    rt.inReach,
+		regenReach: rt.regenReach,
+		reachMask:  rt.reachMask,
 	}
 	for _, f := range net.Fibers {
 		s.fiberUse[f.ID] = newWaveSet(f.Wavelengths)
@@ -175,32 +322,6 @@ func NewState(net *topology.Network) *State {
 	}
 	for i, site := range net.Sites {
 		s.regenFree[i] = site.Regenerators
-	}
-	var sc graph.Scratch
-	for u := 0; u < ns; u++ {
-		s.pairDist[u] = s.fiberGraph.ShortestDistances(u)
-		s.pairPath[u] = make([][]int, ns)
-		s.pairAlts[u] = make([][]fiberRoute, ns)
-		for v := 0; v < ns; v++ {
-			if u == v || math.IsInf(s.pairDist[u][v], 1) {
-				continue
-			}
-			paths := s.fiberGraph.KShortestPathsScratch(&sc, u, v, kFiberPaths)
-			for pi, p := range paths {
-				ids := make([]int, len(p.Edges))
-				for i, e := range p.Edges {
-					ids[i] = e.ID
-				}
-				if pi == 0 {
-					s.pairPath[u][v] = ids
-				} else if p.Weight <= net.ReachKm {
-					// Alternates are only useful if they themselves stay
-					// within optical reach.
-					s.pairAlts[u][v] = append(s.pairAlts[u][v], fiberRoute{ids: ids, km: p.Weight})
-				}
-			}
-			s.inReach[u*ns+v] = s.pairDist[u][v] <= net.ReachKm && s.pairPath[u][v] != nil
-		}
 	}
 	return s
 }
@@ -239,6 +360,8 @@ func (s *State) Clone() *State {
 		pairPath:         s.pairPath,
 		pairAlts:         s.pairAlts,
 		inReach:          s.inReach,
+		regenReach:       s.regenReach,
+		reachMask:        s.reachMask,
 	}
 	for id, w := range s.fiberUse {
 		if w != nil {
@@ -299,6 +422,11 @@ func (s *State) FiberPathIDs(u, v int) []int { return s.pairPath[u][v] }
 // canReach reports whether a single unregenerated segment u->v can exist
 // (precomputed reach adjacency).
 func (s *State) canReach(u, v int) bool { return s.inReach[u*s.net.NumSites()+v] }
+
+// staticFeasible reports whether a circuit u->v could be provisioned on an
+// empty network (precomputed; see the regenReach field). False means the
+// pair fails in every provisioning order, independent of occupancy.
+func (s *State) staticFeasible(u, v int) bool { return s.regenReach[u*s.net.NumSites()+v] }
 
 // segmentFeasible checks that some in-reach fiber route u->v has a common
 // free wavelength; it returns the route and wavelength, or a nil route.
@@ -428,6 +556,39 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 	}
 	ns := s.net.NumSites()
 	sc := s.scratchBuf()
+	// Mask fast path (networks of at most 64 sites): run the node-weighted
+	// Dijkstra directly on the reach bitmasks — bit-identical to building
+	// the transit graph and searching it (see MaskShortestNodeWeighted) —
+	// and only fall through to the materialized graph when the shortest
+	// route is not buildable and Yen's enumeration is needed.
+	if s.reachMask != nil {
+		if cap(sc.nodeW) < ns {
+			sc.nodeW = make([]float64, ns)
+		}
+		w := sc.nodeW[:ns]
+		var nodeMask uint64
+		for v := 0; v < ns; v++ {
+			if v == src || v == dst {
+				nodeMask |= 1 << uint(v)
+				w[v] = 0
+			} else if s.regenFree[v] > 0 {
+				nodeMask |= 1 << uint(v)
+				if s.unitRegenWeights {
+					w[v] = 1
+				} else {
+					w[v] = 1/float64(s.regenFree[v]) + 1e-6
+				}
+			}
+		}
+		hops, ok := graph.MaskShortestNodeWeighted(&sc.sp, s.reachMask, nodeMask, w, src, dst, sc.hops[:0])
+		if !ok {
+			return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
+		}
+		sc.hops = hops
+		if s.routeBuildable(hops) {
+			return hops, nil
+		}
+	}
 	// Nodes of the regenerator graph: src, dst, and sites with spare regens.
 	sc.nodes = sc.nodes[:0]
 	srcIdx, dstIdx := -1, -1

@@ -2,6 +2,7 @@ package topology
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 )
 
@@ -85,5 +86,67 @@ func TestKeySwapMoveChangesKey(t *testing.T) {
 	b.Add(1, 3, 1)
 	if a.Key() == b.Key() {
 		t.Error("degree-preserving rewiring produced identical keys")
+	}
+}
+
+// TestAppendKeyFromLinksMatchesKey pins the flat encoding used by the delta
+// evaluator (scratch links + AppendKeyFromLinks) to the canonical Key().
+func TestAppendKeyFromLinksMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var links []Link
+	var buf []byte
+	for trial := 0; trial < 200; trial++ {
+		ls := randomLinkSet(rng, 2+rng.Intn(12), rng.Intn(20))
+		links = ls.AppendLinks(links[:0])
+		buf = AppendKeyFromLinks(buf[:0], ls.N, links)
+		if string(buf) != ls.Key() {
+			t.Fatalf("AppendKeyFromLinks diverges from Key for %v", links)
+		}
+		if KeyHash(buf) != ls.Hash() {
+			t.Fatalf("KeyHash diverges from Hash for %v", links)
+		}
+	}
+}
+
+// TestMergePatchMatchesRebuild checks that merging a patch into a retained
+// sorted base enumeration equals re-enumerating the patched LinkSet.
+func TestMergePatchMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var base, patch, merged, want []Link
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(10)
+		ls := randomLinkSet(rng, n, rng.Intn(16))
+		base = ls.AppendLinks(base[:0])
+
+		// Mutate a clone with random set/remove/insert operations and record
+		// the NEW counts of every touched pair as the patch.
+		patched := ls.Clone()
+		touched := map[[2]int]bool{}
+		for op := 0; op < 1+rng.Intn(5); op++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			cur := patched.Get(u, v)
+			next := rng.Intn(4) // 0 deletes
+			patched.Add(u, v, next-cur)
+			touched[canon(u, v)] = true
+		}
+		patch = patch[:0]
+		for k := range touched {
+			patch = append(patch, Link{U: k[0], V: k[1], Count: patched.Get(k[0], k[1])})
+		}
+		slices.SortFunc(patch, func(a, b Link) int {
+			if a.U != b.U {
+				return a.U - b.U
+			}
+			return a.V - b.V
+		})
+
+		merged = MergePatch(merged[:0], base, patch)
+		want = patched.AppendLinks(want[:0])
+		if !slices.Equal(merged, want) {
+			t.Fatalf("MergePatch mismatch:\n base=%v\n patch=%v\n got=%v\n want=%v", base, patch, merged, want)
+		}
 	}
 }

@@ -1,0 +1,60 @@
+#!/bin/sh
+# benchjson.sh — run a set of benchmarks and render the results as a JSON
+# map keyed by benchmark name (GOMAXPROCS suffix stripped), so perf numbers
+# can be committed alongside the code and diffed across PRs.
+#
+# Usage:
+#   scripts/benchjson.sh [BENCH_REGEX] [OUT_FILE] [PKG]
+#
+# Schema (documented in DESIGN.md §8):
+#   {
+#     "<BenchmarkName>": { "ns_per_op": <number>, "allocs_per_op": <number> },
+#     ...
+#   }
+#
+# Multiple -count runs of the same benchmark are averaged. Exits nonzero if
+# the benchmarks fail.
+set -u
+
+GO=${GO:-go}
+BENCH=${1:-'BenchmarkAnneal'}
+OUT=${2:-BENCH.json}
+PKG=${3:-.}
+COUNT=${COUNT:-1}
+
+tmp=$(mktemp "${TMPDIR:-/tmp}/benchjson.XXXXXX") || exit 1
+trap 'rm -f "$tmp"' EXIT INT TERM
+
+$GO test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" "$PKG" >"$tmp" 2>&1
+status=$?
+if [ $status -ne 0 ]; then
+    echo "benchjson: benchmarks failed:" >&2
+    tail -20 "$tmp" >&2
+    exit $status
+fi
+
+awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     { ns[name] += $(i-1); nc[name]++ }
+            if ($(i) == "allocs/op") { al[name] += $(i-1); ac[name]++ }
+        }
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+    END {
+        printf "{\n"
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            mns = (nc[name] ? ns[name] / nc[name] : 0)
+            mal = (ac[name] ? al[name] / ac[name] : 0)
+            printf "  \"%s\": { \"ns_per_op\": %.0f, \"allocs_per_op\": %.1f }%s\n", \
+                name, mns, mal, (i < n ? "," : "")
+        }
+        printf "}\n"
+    }
+' "$tmp" >"$OUT"
+
+echo "benchjson: wrote $OUT"
+cat "$OUT"
