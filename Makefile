@@ -28,17 +28,19 @@ BASE ?= HEAD~1
 bench-compare:
 	sh scripts/benchcompare.sh $(BASE)
 
-# bench-json runs the annealing hot-path benchmarks and writes the results
-# as a JSON map (name -> ns/op, allocs/op; schema in DESIGN.md §8) so the
-# numbers can be committed and diffed across PRs.
-BENCH_JSON ?= BENCH_PR4.json
+# bench-json runs the annealing hot-path benchmarks — including the
+# >64-site ISP100-class energy benchmarks in internal/core — and writes the
+# results as a JSON map (name -> ns/op, allocs/op; schema in DESIGN.md §8)
+# so the numbers can be committed and diffed across PRs.
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
-	sh scripts/benchjson.sh 'BenchmarkAnneal' $(BENCH_JSON)
+	sh scripts/benchjson.sh 'BenchmarkAnneal|BenchmarkEnergyISP' $(BENCH_JSON) './...'
 
 # bench-smoke compiles and runs every benchmark exactly once — a fast CI
-# guard that the benchmark harness itself keeps working.
+# guard that the benchmark harness itself keeps working. internal/core
+# carries the scale benchmarks (ISP100/ISP200 energy).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/core
 
 # Fault-injection integration matrix: the end-to-end scenario (controller
 # killed mid-slot, one client partitioned, frames corrupted) must pass

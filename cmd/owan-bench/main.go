@@ -35,6 +35,7 @@ func main() {
 		workers = flag.Int("workers", 0, "annealing energy-evaluation goroutines and per-figure simulation runs in flight (0 = serial; see core.Config.Workers)")
 		batch   = flag.Int("batch", 0, "annealing candidate batch per temperature step (0 = workers; pin it when comparing -workers values — batch is part of the search semantics)")
 		cache   = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
+		provc   = flag.Int("provcache", 0, "cross-slot provision cache entries (0 = default on, negative = off; results identical either way)")
 		delta   = flag.Bool("delta", false, "incremental candidate evaluation (core.Config.DeltaEval); results identical for a seed either way")
 		pf      = prof.Register()
 	)
@@ -52,6 +53,7 @@ func main() {
 	sc.OwanWorkers = *workers
 	sc.OwanBatch = *batch
 	sc.OwanEnergyCache = *cache
+	sc.OwanProvisionCache = *provc
 	sc.OwanDeltaEval = *delta
 	sc.FigWorkers = *workers
 	topos := experiments.AllTopos

@@ -34,6 +34,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "energy-evaluation goroutines (0 = serial; results identical for a seed either way)")
 		batch     = flag.Int("batch", 0, "candidate batch per temperature step (0 = workers; part of the search semantics)")
 		cache     = flag.Int("cache", 0, "energy memoization cache entries (0 = off)")
+		provc     = flag.Int("provcache", 0, "cross-slot provision cache entries (0 = default on, negative = off; results identical either way)")
 		delta     = flag.Bool("delta", false, "incremental candidate evaluation (core.Config.DeltaEval); results identical for a seed either way")
 		heartbeat = flag.Duration("heartbeat", controlplane.DefaultReadTimeout, "declare a client dead after this much silence (clients ping every 10s by default)")
 	)
@@ -59,6 +60,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.BatchSize = *batch
 	cfg.EnergyCacheSize = *cache
+	cfg.ProvisionCacheSize = *provc
 	cfg.DeltaEval = *delta
 	ctrl, err := controlplane.NewController(cfg, slot.Seconds(), nil)
 	if err != nil {

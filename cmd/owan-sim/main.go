@@ -36,6 +36,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "annealing energy-evaluation goroutines (0 = serial)")
 		batch    = flag.Int("batch", 0, "annealing candidate batch per temperature step (0 = workers; pin it when comparing -workers values — batch is part of the search semantics)")
 		cache    = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
+		provc    = flag.Int("provcache", 0, "cross-slot provision cache entries (0 = default on, negative = off; same results, less wall-clock)")
 		delta    = flag.Bool("delta", false, "incremental candidate evaluation (snapshot deltas; same results, less wall-clock)")
 		pf       = prof.Register()
 	)
@@ -53,6 +54,7 @@ func main() {
 	sc.OwanWorkers = *workers
 	sc.OwanBatch = *batch
 	sc.OwanEnergyCache = *cache
+	sc.OwanProvisionCache = *provc
 	sc.OwanDeltaEval = *delta
 	var reqs []transfer.Request
 	if *traceIn != "" {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 
+	"owan/internal/bitset"
 	"owan/internal/topology"
 	"owan/internal/transfer"
 )
@@ -119,8 +120,7 @@ type Allocator struct {
 	// cost tracks the number of live demands instead of all of them.
 	act []int32
 
-	// Bitmask BFS (topologies with at most 64 sites, i.e. every topology in
-	// the paper). liveAdj[v] holds one bit per neighbor w reachable over an
+	// Bitmask BFS. liveAdj[v] holds one bit per neighbor w reachable over an
 	// edge with positive residual; take clears bits as edges saturate, so
 	// the BFS inner loop replaces the per-arc capacity-and-stamp scan with
 	// `liveAdj[v] &^ labeled`. CSR neighbor order is ascending node id (the
@@ -130,6 +130,14 @@ type Allocator struct {
 	// differential suites assert. edgeOf[v*n+w] maps a live pair back to its
 	// edge id for the prev chain; entries for non-adjacent pairs are never
 	// read, so the array needs no clearing between loads.
+	//
+	// Topologies with at most 64 sites use the specialized single-word
+	// fields below (one uint64 per row, registers end to end). Larger
+	// topologies use the multi-word twins further down (bitset.Words(n)
+	// words per row, internal/bitset layout) — same visit order, word-
+	// ascending then bit-ascending, so the bit-identity argument carries
+	// over unchanged. forceScalar disables both (benchmark/differential
+	// knob; results are identical either way, only wall-clock differs).
 	useMask bool
 	liveAdj []uint64
 	edgeOf  []int32
@@ -140,6 +148,19 @@ type Allocator struct {
 	// single bit test, so the mask path needs neither the cut list nor its
 	// dedup scan (monotone unions make duplicates free).
 	doomed []uint64
+
+	// Multi-word mask path (n > 64): the same books as the single-word
+	// fields, each row widened to mw words. usedByW[e] is a bitset over
+	// sources; rowLiveW one bitset over sources; labeledW the BFS's visited
+	// bitset (reused per search).
+	wide        bool
+	mw          int
+	liveAdjW    []uint64 // n*mw
+	doomedW     []uint64 // n*mw
+	usedByW     []uint64 // m*mw
+	rowLiveW    []uint64 // mw
+	labeledW    []uint64 // mw, per-search scratch
+	forceScalar bool
 
 	// Warm-load state for ThroughputPatched: the (U, V)-sorted enumeration
 	// of the base topology retained by SetBase, so a patched evaluation
@@ -237,8 +258,9 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		a.adjOff[i+1] += a.adjOff[i]
 	}
 	copy(a.cur, a.adjOff[:n])
-	a.useMask = n <= 64
-	if a.useMask {
+	a.useMask = !a.forceScalar
+	a.wide = a.useMask && n > 64
+	if a.useMask && !a.wide {
 		if cap(a.liveAdj) < n {
 			a.liveAdj = make([]uint64, n)
 			a.doomed = make([]uint64, n)
@@ -253,6 +275,20 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		clear(a.usedBy)
 		a.rowLive = 0
 	}
+	if a.wide {
+		mw := bitset.Words(n)
+		a.mw = mw
+		a.liveAdjW = growU(a.liveAdjW, n*mw)
+		clear(a.liveAdjW)
+		a.doomedW = growU(a.doomedW, n*mw)
+		clear(a.doomedW)
+		a.usedByW = growU(a.usedByW, m*mw)
+		clear(a.usedByW)
+		a.rowLiveW = growU(a.rowLiveW, mw)
+		clear(a.rowLiveW)
+		a.labeledW = growU(a.labeledW, mw)
+		a.edgeOf = grow32(a.edgeOf, n*n)
+	}
 	// Filling in link-enumeration order reproduces the reference
 	// implementation's per-site neighbor order exactly.
 	for e, l := range a.links {
@@ -262,8 +298,13 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		a.arcs[a.cur[l.V]] = int64(e)<<32 | int64(l.U)
 		a.cur[l.V]++
 		if a.useMask && a.caps[e] > resEps {
-			a.liveAdj[l.U] |= 1 << uint(l.V)
-			a.liveAdj[l.V] |= 1 << uint(l.U)
+			if a.wide {
+				a.liveAdjW[l.U*a.mw+l.V>>6] |= 1 << uint(l.V&63)
+				a.liveAdjW[l.V*a.mw+l.U>>6] |= 1 << uint(l.U&63)
+			} else {
+				a.liveAdj[l.U] |= 1 << uint(l.V)
+				a.liveAdj[l.V] |= 1 << uint(l.U)
+			}
 			a.edgeOf[l.U*n+l.V] = int32(e)
 			a.edgeOf[l.V*n+l.U] = int32(e)
 		}
@@ -275,6 +316,13 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 	a.numCuts = 0
 	a.cuts = a.cuts[:0]
 }
+
+// SetScalarFallback forces every subsequent load onto the scalar BFS path,
+// disabling both the single-word and multi-word mask fast paths. Results are
+// bit-identical either way — this is the benchmark and differential-test knob
+// that measures the masks' speedup and cross-checks their correctness. It
+// takes effect at the next load.
+func (a *Allocator) SetScalarFallback(on bool) { a.forceScalar = on }
 
 // SetBase retains the enumeration of a base topology for subsequent
 // ThroughputPatched calls. The LinkSet is only read during this call.
@@ -326,6 +374,9 @@ func growU(buf []uint64, n int) []uint64 {
 // from src on the current residuals.
 func (a *Allocator) cutHit(src, dst int) bool {
 	if a.useMask {
+		if a.wide {
+			return a.doomedW[src*a.mw+dst>>6]>>uint(dst&63)&1 == 1
+		}
 		return a.doomed[src]>>uint(dst)&1 == 1
 	}
 	sw, sb := src>>6, uint(src&63)
@@ -346,6 +397,24 @@ func (a *Allocator) recordCutMask(visited uint64) {
 	out := ^visited
 	for m := visited; m != 0; m &= m - 1 {
 		a.doomed[bits.TrailingZeros64(m)] |= out
+	}
+}
+
+// recordCutMaskW is recordCutMask for the multi-word path. Bits at positions
+// >= n in the last word get set in doomedW rows, exactly as the single-word
+// variant sets bits >= n of doomed; they correspond to no node and are never
+// tested.
+func (a *Allocator) recordCutMaskW(visited []uint64) {
+	mw := a.mw
+	for wi, vw := range visited {
+		base := wi << 6
+		for m := vw; m != 0; m &= m - 1 {
+			src := base + bits.TrailingZeros64(m)
+			row := a.doomedW[src*mw : src*mw+mw]
+			for wj := 0; wj < mw; wj++ {
+				row[wj] |= ^visited[wj]
+			}
+		}
 	}
 }
 
@@ -405,9 +474,14 @@ func (a *Allocator) shortestResidual(src, dst int) bool {
 	// tree). Only a truncated tree that stopped short of dst needs a fresh
 	// search.
 	if a.rowGen[src] > a.loadGen {
-		live := a.rowLive>>uint(src&63)&1 == 1
-		if !a.useMask {
+		var live bool
+		switch {
+		case !a.useMask:
 			live = a.rowEpoch[src] == a.epoch
+		case a.wide:
+			live = a.rowLiveW[src>>6]>>uint(src&63)&1 == 1
+		default:
+			live = a.rowLive>>uint(src&63)&1 == 1
 		}
 		if live {
 			if int32(a.stampDist[src*a.n+dst]>>32) == a.rowGen[src] {
@@ -432,6 +506,48 @@ func (a *Allocator) shortestResidual(src, dst int) bool {
 	a.rowGen[src] = a.gen
 	a.rowEpoch[src] = a.epoch
 	a.queue = append(a.queue[:0], int32(src))
+	if a.wide {
+		// Multi-word twin of the single-word mask walk below: per queue node
+		// the neighbor words are scanned word-ascending, bits ascending via
+		// TrailingZeros64, which is ascending neighbor id — the same order as
+		// both the single-word walk and the scalar arc scan, so prev chains,
+		// hop counts, early exit, and recorded cuts stay bit-identical.
+		edgeOf, n, mw := a.edgeOf, a.n, a.mw
+		lab := a.labeledW[:mw]
+		clear(lab)
+		sw, sb := src>>6, uint(src)&63
+		a.rowLiveW[sw] |= 1 << sb
+		lab[sw] |= 1 << sb
+		for head := 0; head < len(a.queue); head++ {
+			v := a.queue[head]
+			sdv := stampDist[v] + 1
+			vLow := int64(v)
+			vRow := a.liveAdjW[int(v)*mw : int(v)*mw+mw]
+			for wi := 0; wi < mw; wi++ {
+				nw := vRow[wi] &^ lab[wi]
+				if nw == 0 {
+					continue
+				}
+				lab[wi] |= nw
+				base := wi << 6
+				for ; nw != 0; nw &= nw - 1 {
+					w := int32(base + bits.TrailingZeros64(nw))
+					e := edgeOf[int(v)*n+int(w)]
+					stampDist[w] = sdv
+					prevNE[w] = int64(e)<<32 | vLow
+					a.usedByW[int(e)*mw+sw] |= 1 << sb
+					if int(w) == dst {
+						a.probeFull[src] = false
+						return true
+					}
+					a.queue = append(a.queue, w)
+				}
+			}
+		}
+		a.probeFull[src] = true
+		a.recordCutMaskW(lab)
+		return false
+	}
 	if a.useMask {
 		// The mask walk labels exactly the nodes the arc scan below would,
 		// in the same order (ascending neighbor id), so prev chains, hop
@@ -540,7 +656,16 @@ func (a *Allocator) take(src, dst int, rate float64) {
 		u := int32(pv)
 		if a.caps[e] <= resEps {
 			a.epoch++ // the positive-residual edge set shrank
-			if a.useMask {
+			if a.wide {
+				mw := a.mw
+				ub := a.usedByW[int(e)*mw : int(e)*mw+mw]
+				rl := a.rowLiveW[:mw]
+				for wi := 0; wi < mw; wi++ {
+					rl[wi] &^= ub[wi] // only trees holding e as a prev edge go stale
+				}
+				a.liveAdjW[int(u)*mw+int(v)>>6] &^= 1 << uint(v&63)
+				a.liveAdjW[int(v)*mw+int(u)>>6] &^= 1 << uint(u&63)
+			} else if a.useMask {
 				a.rowLive &^= a.usedBy[e] // only trees holding e as a prev edge go stale
 				a.liveAdj[u] &^= 1 << uint(v)
 				a.liveAdj[v] &^= 1 << uint(u)

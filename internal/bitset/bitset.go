@@ -1,0 +1,146 @@
+// Package bitset provides the word-array bitset primitives behind every
+// mask fast path in the repository: the allocator's live-adjacency and
+// failure-cut masks, the optical layer's reach and regenerator-reach rows,
+// and the node-weighted mask Dijkstra in internal/graph.
+//
+// The packages on the energy hot path keep their innermost loops as manual
+// word arithmetic over []uint64 (an extra call or bounds check per BFS arc
+// is measurable there), but they all share this package's layout: a set over
+// [0, n) is Words(n) little-endian uint64 words, bit i of word i/64 is
+// element i, and iteration is word-ascending then bit-ascending via
+// TrailingZeros64 — which enumerates elements in ascending order, the
+// property the bit-reproducibility proofs of the mask paths rest on.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset over [0, n) stored as Words(n) uint64
+// words. The zero value of length 0 is an empty set over nothing; use New or
+// Grow to size one.
+type Set []uint64
+
+// Words returns the number of 64-bit words a set over [0, n) needs.
+func Words(n int) int { return (n + 63) / 64 }
+
+// New returns an empty set over [0, n).
+func New(n int) Set { return make(Set, Words(n)) }
+
+// Grow returns a zeroed set over [0, n), reusing s's backing array when it
+// is large enough (the growF/grow32 idiom of the flat allocators).
+func Grow(s Set, n int) Set {
+	w := Words(n)
+	if cap(s) < w {
+		return make(Set, w)
+	}
+	s = s[:w]
+	s.Zero()
+	return s
+}
+
+// Test reports whether element i is in the set.
+func (s Set) Test(i int) bool { return s[i>>6]>>(uint(i)&63)&1 == 1 }
+
+// Set inserts element i.
+func (s Set) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes element i.
+func (s Set) Clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Zero empties the set.
+func (s Set) Zero() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Or sets s to s ∪ t. The sets must have equal length.
+func (s Set) Or(t Set) {
+	for i, w := range t {
+		s[i] |= w
+	}
+}
+
+// And sets s to s ∩ t. The sets must have equal length.
+func (s Set) And(t Set) {
+	for i, w := range t {
+		s[i] &= w
+	}
+}
+
+// AndNot sets s to s \ t. The sets must have equal length.
+func (s Set) AndNot(t Set) {
+	for i, w := range t {
+		s[i] &^= w
+	}
+}
+
+// Copy overwrites s with t. The sets must have equal length.
+func (s Set) Copy(t Set) { copy(s, t) }
+
+// Any reports whether the set is nonempty.
+func (s Set) Any() bool {
+	for _, w := range s {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of elements.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls f for every element in ascending order — word-ascending,
+// then bit-ascending within a word via TrailingZeros64. This is the exact
+// iteration order of the inlined mask loops, so anything proven about their
+// visit order holds for ForEach too.
+func (s Set) ForEach(f func(i int)) {
+	for wi, w := range s {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			f(base + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// AppendBits appends the elements of the set to dst in ascending order.
+func (s Set) AppendBits(dst []int) []int {
+	for wi, w := range s {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+		}
+	}
+	return dst
+}
+
+// Pool recycles scratch sets so transient mask computations allocate only
+// until the pool warms up. It is not safe for concurrent use: each goroutine
+// that needs pooled scratch owns its own Pool, exactly as the flat
+// allocators own their scratch buffers.
+type Pool struct {
+	free []Set
+}
+
+// Get returns a zeroed set over [0, n).
+func (p *Pool) Get(n int) Set {
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free = p.free[:k-1]
+		return Grow(s, n)
+	}
+	return New(n)
+}
+
+// Put returns a set to the pool for reuse.
+func (p *Pool) Put(s Set) {
+	if s != nil {
+		p.free = append(p.free, s)
+	}
+}

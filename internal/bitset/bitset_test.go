@@ -1,0 +1,182 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// model is the naive reference: a set over [0, n) as map[int]bool.
+type model struct {
+	n int
+	m map[int]bool
+}
+
+func newModel(n int) *model { return &model{n: n, m: map[int]bool{}} }
+
+func (md *model) or(o *model) {
+	for i := range o.m {
+		md.m[i] = true
+	}
+}
+
+func (md *model) and(o *model) {
+	for i := range md.m {
+		if !o.m[i] {
+			delete(md.m, i)
+		}
+	}
+}
+
+func (md *model) andNot(o *model) {
+	for i := range o.m {
+		delete(md.m, i)
+	}
+}
+
+func (md *model) elems() []int {
+	out := []int{}
+	for i := 0; i < md.n; i++ {
+		if md.m[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// checkAgainst asserts the Set and the model agree element for element, in
+// count, emptiness, and iteration order (ForEach/AppendBits must enumerate
+// ascending).
+func checkAgainst(t *testing.T, s Set, md *model) {
+	t.Helper()
+	want := md.elems()
+	if got := s.Count(); got != len(want) {
+		t.Fatalf("Count: got %d, want %d", got, len(want))
+	}
+	if got := s.Any(); got != (len(want) > 0) {
+		t.Fatalf("Any: got %v with %d elements", got, len(want))
+	}
+	for i := 0; i < md.n; i++ {
+		if s.Test(i) != md.m[i] {
+			t.Fatalf("Test(%d): got %v, want %v", i, s.Test(i), md.m[i])
+		}
+	}
+	got := s.AppendBits(nil)
+	if len(got) != len(want) {
+		t.Fatalf("AppendBits: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendBits order: got %v, want %v (ascending)", got, want)
+		}
+	}
+	j := 0
+	s.ForEach(func(i int) {
+		if j >= len(want) || want[j] != i {
+			t.Fatalf("ForEach visited %d at position %d, want sequence %v", i, j, want)
+		}
+		j++
+	})
+	if j != len(want) {
+		t.Fatalf("ForEach visited %d elements, want %d", j, len(want))
+	}
+}
+
+// TestSetMatchesModel drives random op sequences against the map model over
+// sizes on both sides of the one-word boundary (the n <= 64 inline paths and
+// the multi-word general path share this layout).
+func TestSetMatchesModel(t *testing.T) {
+	for _, n := range []int{1, 7, 63, 64, 65, 100, 128, 129, 200} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s, md := New(n), newModel(n)
+		o, od := New(n), newModel(n)
+		for step := 0; step < 2000; step++ {
+			i := rng.Intn(n)
+			switch rng.Intn(8) {
+			case 0, 1:
+				s.Set(i)
+				md.m[i] = true
+			case 2:
+				s.Clear(i)
+				delete(md.m, i)
+			case 3:
+				o.Set(i)
+				od.m[i] = true
+			case 4:
+				s.Or(o)
+				md.or(od)
+			case 5:
+				s.And(o)
+				md.and(od)
+			case 6:
+				s.AndNot(o)
+				md.andNot(od)
+			case 7:
+				o.Clear(i)
+				delete(od.m, i)
+			}
+			checkAgainst(t, s, md)
+		}
+		s.Zero()
+		md.m = map[int]bool{}
+		checkAgainst(t, s, md)
+	}
+}
+
+func TestWordsAndGrow(t *testing.T) {
+	cases := []struct{ n, w int }{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}}
+	for _, c := range cases {
+		if got := Words(c.n); got != c.w {
+			t.Fatalf("Words(%d) = %d, want %d", c.n, got, c.w)
+		}
+	}
+	s := New(65)
+	s.Set(64)
+	s = Grow(s, 40) // shrink within capacity: must come back zeroed
+	if s.Any() {
+		t.Fatal("Grow returned a non-empty set")
+	}
+	if len(s) != Words(40) {
+		t.Fatalf("Grow length %d, want %d", len(s), Words(40))
+	}
+	g := Grow(s, 300)
+	if len(g) != Words(300) || g.Any() {
+		t.Fatalf("Grow(300): len %d any %v", len(g), g.Any())
+	}
+}
+
+func TestCopy(t *testing.T) {
+	a, b := New(130), New(130)
+	for _, i := range []int{0, 63, 64, 99, 129} {
+		b.Set(i)
+	}
+	a.Copy(b)
+	for _, i := range []int{0, 63, 64, 99, 129} {
+		if !a.Test(i) {
+			t.Fatalf("Copy lost element %d", i)
+		}
+	}
+	if a.Count() != b.Count() {
+		t.Fatalf("Copy count %d != %d", a.Count(), b.Count())
+	}
+}
+
+// TestPool: pooled sets come back zeroed and sized, whatever state they were
+// returned in.
+func TestPool(t *testing.T) {
+	var p Pool
+	s := p.Get(100)
+	s.Set(3)
+	s.Set(99)
+	p.Put(s)
+	s2 := p.Get(70)
+	if s2.Any() {
+		t.Fatal("pooled set not zeroed")
+	}
+	if len(s2) != Words(70) {
+		t.Fatalf("pooled set len %d, want %d", len(s2), Words(70))
+	}
+	s3 := p.Get(256) // pool empty again → fresh allocation
+	if len(s3) != Words(256) || s3.Any() {
+		t.Fatalf("fresh set len %d any %v", len(s3), s3.Any())
+	}
+}

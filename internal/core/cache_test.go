@@ -76,7 +76,7 @@ func TestEnergyCacheEviction(t *testing.T) {
 	if e, ok := c.get(2, []byte("c")); !ok || e != 3 {
 		t.Fatalf("newest entry lost: (%v, %v)", e, ok)
 	}
-	if got := len(c.m[1]); got != 1 {
+	if got := bucketLen(c, 1); got != 1 {
 		t.Fatalf("bucket 1 holds %d entries after eviction, want 1", got)
 	}
 	// Refreshing an existing key must not grow the cache or duplicate it.
@@ -84,7 +84,67 @@ func TestEnergyCacheEviction(t *testing.T) {
 	if e, _ := c.get(1, []byte("b")); e != 20 {
 		t.Fatalf("refresh did not update energy: %v", e)
 	}
-	if c.ll.Len() != 2 {
-		t.Fatalf("cache holds %d entries after refresh, want 2", c.ll.Len())
+	if c.used != 2 {
+		t.Fatalf("cache holds %d entries after refresh, want 2", c.used)
+	}
+}
+
+// bucketLen counts the entries chained under one hash bucket.
+func bucketLen(c *energyCache, hash uint64) int {
+	n := 0
+	idx, ok := c.m[hash]
+	if !ok {
+		return 0
+	}
+	for ; idx >= 0; idx = c.entries[idx].bnext {
+		n++
+	}
+	return n
+}
+
+// TestEnergyCacheResetKeepsBuffers: reset must drop every entry but retain
+// the arena slots and their key buffers, so the next slot's fills allocate
+// nothing for keys that fit.
+func TestEnergyCacheResetKeepsBuffers(t *testing.T) {
+	c := newEnergyCache(4)
+	c.put(1, []byte("alpha-key"), 1)
+	c.put(2, []byte("beta-key"), 2)
+	kept := cap(c.entries[0].key)
+	c.reset()
+	if c.used != 0 {
+		t.Fatalf("used = %d after reset", c.used)
+	}
+	if _, ok := c.get(1, []byte("alpha-key")); ok {
+		t.Fatal("entry survived reset")
+	}
+	c.put(3, []byte("gamma"), 3)
+	if e, ok := c.get(3, []byte("gamma")); !ok || e != 3 {
+		t.Fatalf("cache unusable after reset: (%v, %v)", e, ok)
+	}
+	if cap(c.entries[0].key) != kept {
+		t.Fatalf("slot 0 key buffer not reused: cap %d, want %d", cap(c.entries[0].key), kept)
+	}
+}
+
+// TestEnergyCacheSteadyStateAllocs: a warmed-up cache must not allocate per
+// get/put, including through evictions — the fix for the PR 4 regression
+// where every put copied its key to a fresh allocation.
+func TestEnergyCacheSteadyStateAllocs(t *testing.T) {
+	c := newEnergyCache(8)
+	keys := make([][]byte, 32)
+	for i := range keys {
+		keys[i] = []byte{byte(i), 'k', 'e', 'y', byte(i)}
+	}
+	for i, k := range keys { // warm: force evictions so every slot has a buffer
+		c.put(uint64(i%4), k, float64(i))
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		k := keys[i%len(keys)]
+		c.get(uint64(i%4), k)
+		c.put(uint64(i%4), k, float64(i))
+		i++
+	}); avg != 0 {
+		t.Fatalf("cache allocates %.1f per op cycle in steady state, want 0", avg)
 	}
 }

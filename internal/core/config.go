@@ -68,6 +68,8 @@ func (c Config) Validate() error {
 	if c.EnergyCacheSize < 0 {
 		return fmt.Errorf("core: config: EnergyCacheSize must be non-negative, got %d", c.EnergyCacheSize)
 	}
-	// MaxChurn may be negative by contract: it disables the churn bound.
+	// MaxChurn and ProvisionCacheSize may be negative by contract: negative
+	// disables the churn bound / the provision cache (whose zero value means
+	// "default on", since it never changes results).
 	return nil
 }

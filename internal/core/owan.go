@@ -76,6 +76,16 @@ type Config struct {
 	// cooling). 0 disables caching. The cache never changes results —
 	// only whether an energy is recomputed.
 	EnergyCacheSize int
+	// ProvisionCacheSize bounds the controller-lifetime provision memoization
+	// cache in entries: a map from network-layer topologies to their effective
+	// (optically realized) link enumerations. Provisioning is a pure function
+	// of the topology — independent of demands and of prior provisioning — so
+	// unlike the energy cache this one persists across slots, and the
+	// warm-started first evaluation of a slot is typically a hit. 0 selects
+	// DefaultProvisionCache; negative disables the cache. Like the energy
+	// cache it never changes results, only whether a provisioning is
+	// recomputed.
+	ProvisionCacheSize int
 	// DeltaEval enables incremental candidate evaluation: per accepted base
 	// topology the optical layer is provisioned once and frozen as a
 	// snapshot, and each candidate (which differs by a few swapped circuits)
@@ -101,6 +111,10 @@ const (
 	DefaultStarveSlots = 3
 	DefaultInitTemp    = 0.02
 	DefaultMaxChurn    = 16
+	// DefaultProvisionCache is the provision-cache capacity when
+	// Config.ProvisionCacheSize is 0. Entries are an effective-link
+	// enumeration each (a few KB on ISP100), so the default stays small.
+	DefaultProvisionCache = 128
 )
 
 func (c Config) withDefaults() Config {
@@ -127,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize < 1 {
 		c.BatchSize = c.Workers
+	}
+	if c.ProvisionCacheSize == 0 {
+		c.ProvisionCacheSize = DefaultProvisionCache
 	}
 	return c
 }
@@ -157,7 +174,15 @@ type SearchStats struct {
 	DeltaFallbacks int
 	// SnapshotBuilds counts full base provisions frozen for the delta path
 	// (one per accepted base topology the search evaluated candidates from).
+	// With the persistent evaluator a warm-started slot whose base topology
+	// matches the retained snapshot reports 0 builds.
 	SnapshotBuilds int
+	// ProvisionHits counts cold evaluations whose effective links were served
+	// from the controller-lifetime provision cache; ProvisionMisses counts
+	// the full provisionings that filled it. Both stay zero with the cache
+	// disabled.
+	ProvisionHits   int
+	ProvisionMisses int
 }
 
 // NetworkState is the controller's output for one slot: the target
@@ -172,12 +197,26 @@ type NetworkState struct {
 }
 
 // Owan is the controller core. It is not safe for concurrent use; the
-// controller invokes it once per time slot.
+// controller invokes it once per time slot. The evaluator behind
+// ComputeNetworkState — worker goroutines, per-worker optical and allocator
+// scratch, the delta snapshot, the cache arenas — lives as long as the Owan
+// and is reused across slots; call Close when discarding a controller whose
+// Workers > 1 searches have run, to stop the pool goroutines.
 type Owan struct {
 	cfg Config
 	opt *optical.State
 	al  *alloc.Allocator
 	rng *rand.Rand
+	// ev is the persistent evaluator, created lazily on the first
+	// ComputeNetworkState call; provCache is the controller-lifetime
+	// topology -> effective-links memo it consults (nil when disabled).
+	ev        *evaluator
+	provCache *provisionCache
+	// disablePersist (tests) restores the pre-persistence behavior: a
+	// throwaway evaluator per ComputeNetworkState and no provision cache.
+	// The cross-slot differential harness runs both variants on equal seeds
+	// to pin that persistence never changes a trajectory.
+	disablePersist bool
 	// onCacheHit, when set (tests), observes every energy-cache hit with
 	// the candidate topology and the energy the cache returned. Only the
 	// classic (materialized) path invokes it; delta-mode cache activity is
@@ -193,10 +232,21 @@ type Owan struct {
 func New(cfg Config) *Owan {
 	cfg = cfg.withDefaults()
 	return &Owan{
-		cfg: cfg,
-		opt: optical.NewState(cfg.Net),
-		al:  alloc.NewAllocator(),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		opt:       optical.NewState(cfg.Net),
+		al:        alloc.NewAllocator(),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		provCache: newProvisionCache(cfg.ProvisionCacheSize),
+	}
+}
+
+// Close stops the evaluator worker pool. The controller stays usable — the
+// next ComputeNetworkState restarts the pool on the same warm contexts — so
+// Close is about goroutine hygiene, not teardown. Safe to call repeatedly,
+// and a no-op for serial configurations.
+func (o *Owan) Close() {
+	if o.ev != nil {
+		o.ev.close()
 	}
 }
 
@@ -226,8 +276,20 @@ func energyOn(opt *optical.State, al *alloc.Allocator, theta float64, s *topolog
 }
 
 // SetUnitRegenWeights forwards the regenerator-balancing ablation knob to
-// the optical layer.
-func (o *Owan) SetUnitRegenWeights(on bool) { o.opt.SetUnitRegenWeights(on) }
+// the optical layer. The knob changes what provisioning produces, so every
+// piece of provisioning-derived persistent state is invalidated: the
+// provision cache is cleared and the evaluator (whose retained snapshot and
+// worker clones embed the old weights) is dropped and lazily rebuilt.
+func (o *Owan) SetUnitRegenWeights(on bool) {
+	o.opt.SetUnitRegenWeights(on)
+	if o.ev != nil {
+		o.ev.close()
+		o.ev = nil
+	}
+	if o.provCache != nil {
+		o.provCache.clear()
+	}
+}
 
 // WithoutFiber returns a new controller core whose physical network lacks
 // the given fiber (failure handling, §3.4). The annealing seed is carried
@@ -356,8 +418,24 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 	start := time.Now()
 	demands := o.demands(active, slot, slotSeconds)
 
+	// The evaluator is controller-lifetime state: created once, then re-armed
+	// per slot by begin(). Its worker pool, per-worker optical and allocator
+	// scratch, delta snapshot and cache arenas all carry over, so a
+	// warm-started slot skips the snapshot rebuild and its first energy is
+	// usually a provision-cache hit.
+	ev := o.ev
+	if ev == nil || o.disablePersist {
+		ev = newEvaluator(o)
+		if o.disablePersist {
+			defer ev.close()
+		} else {
+			o.ev = ev
+		}
+	}
+	ev.begin(demands)
+
 	sCur := current.Clone()
-	eCur := o.Energy(sCur, demands)
+	eCur := ev.energyFull(&ev.ctx0, sCur)
 	sBest, eBest := sCur, eCur
 	stats := SearchStats{InitialEnergy: eCur}
 
@@ -373,9 +451,6 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 	if o.cfg.TimeBudget > 0 {
 		deadline = start.Add(o.cfg.TimeBudget)
 	}
-
-	ev := newEvaluator(o, demands)
-	defer ev.close()
 
 	T0 := T
 	useDelta := o.cfg.DeltaEval
@@ -542,6 +617,17 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 
 	plan := o.opt.ProvisionTopology(sBest)
 	eff := plan.Effective(sBest.N)
+	if o.provCache != nil {
+		// Seed the cross-slot cache with the returned topology's effective
+		// links: the next slot warm-starts from sBest, so its first (and most
+		// expensive) evaluation becomes a hit. plan.Effective is pinned
+		// identical to ProvisionEffective, so the entry equals what the cold
+		// path would have stored.
+		key := sBest.AppendKey(ev.ctx0.keyBuf[:0])
+		ev.ctx0.keyBuf = key
+		ev.ctx0.eff = eff.AppendLinks(ev.ctx0.eff[:0])
+		o.provCache.put(topology.KeyHash(key), key, eff.N, ev.ctx0.eff)
+	}
 	res := o.al.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
 	stats.BestEnergy = eBest
 	stats.Churn = current.Diff(sBest)

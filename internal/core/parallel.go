@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"container/list"
 
 	"owan/internal/alloc"
 	"owan/internal/optical"
@@ -32,71 +31,197 @@ import (
 // energyCache is an LRU map from canonical topology keys to energies,
 // bucketed by a 64-bit hash with full key-byte verification on every hit, so
 // a hash collision can never return the wrong energy. It is only ever
-// touched by the coordinating goroutine, so it needs no locking. Energies
-// depend on the demand set, which changes every slot, so the cache lives for
-// one ComputeNetworkState invocation.
+// touched by the coordinating goroutine, so it needs no locking.
+//
+// The implementation is a slice arena with intrusive index-based links — no
+// container/list nodes, no interface boxing, and no per-put key copy to a
+// fresh allocation: an inserted key reuses its slot's retained buffer
+// (evicted entries donate theirs), so a warmed-up cache performs zero heap
+// allocations per operation. Energies depend on the demand set, which
+// changes every slot, so the persistent evaluator calls reset() at the start
+// of each search — the arena and its key buffers survive, the entries do
+// not.
 type energyCache struct {
-	cap int
-	m   map[uint64][]*list.Element
-	ll  *list.List // front = most recently used
+	cap     int
+	m       map[uint64]int32 // hash -> index of the bucket's chain head
+	entries []cacheEntry     // arena; slots [0, used) are live
+	used    int
+	// Intrusive LRU list over arena indices: head = most recently used.
+	head, tail int32
+	// Shared backing for first-touch key copies: entries carve their key
+	// capacity from here in blocks, so filling a fresh cache costs O(log n)
+	// allocations rather than one per entry. Once carved, a slot's buffer is
+	// retained and reused across evictions and resets.
+	keyBlock []byte
 }
 
 type cacheEntry struct {
-	hash   uint64
-	key    []byte
-	energy float64
+	hash       uint64
+	key        []byte
+	energy     float64
+	prev, next int32 // LRU neighbors, -1 terminated
+	bnext      int32 // next entry in the same hash bucket, -1 terminated
 }
 
 func newEnergyCache(capacity int) *energyCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &energyCache{cap: capacity, m: make(map[uint64][]*list.Element, capacity), ll: list.New()}
+	return &energyCache{
+		cap:     capacity,
+		m:       make(map[uint64]int32, capacity),
+		entries: make([]cacheEntry, 0, capacity),
+		head:    -1,
+		tail:    -1,
+	}
+}
+
+// find returns the arena index of the exact key (hash selects the bucket,
+// the full key bytes decide), or -1.
+func (c *energyCache) find(hash uint64, key []byte) int32 {
+	idx, ok := c.m[hash]
+	if !ok {
+		return -1
+	}
+	for ; idx >= 0; idx = c.entries[idx].bnext {
+		if bytes.Equal(c.entries[idx].key, key) {
+			return idx
+		}
+	}
+	return -1
+}
+
+func (c *energyCache) moveToFront(idx int32) {
+	if c.head == idx {
+		return
+	}
+	e := &c.entries[idx]
+	if e.prev >= 0 {
+		c.entries[e.prev].next = e.next
+	}
+	if e.next >= 0 {
+		c.entries[e.next].prev = e.prev
+	}
+	if c.tail == idx {
+		c.tail = e.prev
+	}
+	e.prev = -1
+	e.next = c.head
+	if c.head >= 0 {
+		c.entries[c.head].prev = idx
+	}
+	c.head = idx
+	if c.tail < 0 {
+		c.tail = idx
+	}
 }
 
 // get returns the cached energy for the exact key, verifying the full key
 // bytes — the hash only selects the bucket.
 func (c *energyCache) get(hash uint64, key []byte) (float64, bool) {
-	for _, el := range c.m[hash] {
-		if e := el.Value.(cacheEntry); bytes.Equal(e.key, key) {
-			c.ll.MoveToFront(el)
-			return e.energy, true
-		}
+	idx := c.find(hash, key)
+	if idx < 0 {
+		return 0, false
 	}
-	return 0, false
+	c.moveToFront(idx)
+	return c.entries[idx].energy, true
 }
 
-// put inserts or refreshes an entry. The key is copied: callers reuse their
-// key buffers across batches.
-func (c *energyCache) put(hash uint64, key []byte, energy float64) {
-	bucket := c.m[hash]
-	for _, el := range bucket {
-		if e := el.Value.(cacheEntry); bytes.Equal(e.key, key) {
-			el.Value = cacheEntry{hash: hash, key: e.key, energy: energy}
-			c.ll.MoveToFront(el)
+// bucketRemove unlinks an entry from its hash bucket's chain.
+func (c *energyCache) bucketRemove(idx int32) {
+	e := &c.entries[idx]
+	if head := c.m[e.hash]; head == idx {
+		if e.bnext < 0 {
+			delete(c.m, e.hash)
+		} else {
+			c.m[e.hash] = e.bnext
+		}
+		return
+	}
+	for p := c.m[e.hash]; p >= 0; p = c.entries[p].bnext {
+		if c.entries[p].bnext == idx {
+			c.entries[p].bnext = e.bnext
 			return
 		}
 	}
-	el := c.ll.PushFront(cacheEntry{hash: hash, key: append([]byte(nil), key...), energy: energy})
-	c.m[hash] = append(bucket, el)
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		e := oldest.Value.(cacheEntry)
-		b := c.m[e.hash]
-		for i, x := range b {
-			if x == oldest {
-				b[i] = b[len(b)-1]
-				b = b[:len(b)-1]
-				break
-			}
+}
+
+// put inserts or refreshes an entry. The key bytes are copied into the
+// slot's retained buffer, so callers reuse their key buffers across batches
+// and the cache reuses its own across evictions.
+func (c *energyCache) put(hash uint64, key []byte, energy float64) {
+	if idx := c.find(hash, key); idx >= 0 {
+		c.entries[idx].energy = energy
+		c.moveToFront(idx)
+		return
+	}
+	var idx int32
+	if c.used < c.cap {
+		if c.used == len(c.entries) {
+			c.entries = append(c.entries, cacheEntry{})
 		}
-		if len(b) == 0 {
-			delete(c.m, e.hash)
-		} else {
-			c.m[e.hash] = b
+		idx = int32(c.used)
+		c.used++
+	} else {
+		// Evict the LRU tail, reusing its slot and key buffer.
+		idx = c.tail
+		c.bucketRemove(idx)
+		e := &c.entries[idx]
+		c.tail = e.prev
+		if c.tail >= 0 {
+			c.entries[c.tail].next = -1
+		}
+		if c.head == idx {
+			c.head = -1
 		}
 	}
+	e := &c.entries[idx]
+	e.hash = hash
+	c.copyKey(e, key)
+	e.energy = energy
+	if h, ok := c.m[hash]; ok {
+		e.bnext = h
+	} else {
+		e.bnext = -1
+	}
+	c.m[hash] = idx
+	e.prev = -1
+	e.next = c.head
+	if c.head >= 0 {
+		c.entries[c.head].prev = idx
+	}
+	c.head = idx
+	if c.tail < 0 {
+		c.tail = idx
+	}
+}
+
+// copyKey stores key into the slot's retained buffer. Slots whose buffer is
+// too small (first touch, or a longer key after eviction) carve a fresh
+// capacity from the shared key block; keys within one search have near-equal
+// lengths (same network, port-bound link counts), so a quarter of slack
+// makes re-carving rare.
+func (c *energyCache) copyKey(e *cacheEntry, key []byte) {
+	if cap(e.key) >= len(key) {
+		e.key = append(e.key[:0], key...)
+		return
+	}
+	need := len(key) + len(key)/4
+	if len(c.keyBlock)+need > cap(c.keyBlock) {
+		// Old carvings keep referencing their own backing arrays.
+		c.keyBlock = make([]byte, 0, min(max(64*need, 4096), max(1<<16, need)))
+	}
+	carved := c.keyBlock[len(c.keyBlock) : len(c.keyBlock) : len(c.keyBlock)+need]
+	c.keyBlock = c.keyBlock[:len(c.keyBlock)+need]
+	e.key = append(carved, key...)
+}
+
+// reset empties the cache while keeping the arena and every slot's key
+// buffer for reuse — the per-slot refresh of the persistent evaluator.
+func (c *energyCache) reset() {
+	clear(c.m)
+	c.used = 0
+	c.head, c.tail = -1, -1
 }
 
 // evalJob asks a worker for the energy of one candidate: a materialized
@@ -119,6 +244,7 @@ type evalResult struct {
 // holds (-1 after a cold evaluation trashed it); baseGen tracks which
 // generation the allocator's warm base corresponds to.
 type workerCtx struct {
+	id  int // worker slot for the per-worker counters
 	opt *optical.State
 	al  *alloc.Allocator
 
@@ -127,15 +253,22 @@ type workerCtx struct {
 	removed, added []topology.Link
 	// Cold-fallback scratch: the candidate's requested-count patch, its
 	// merged (U, V)-sorted enumeration, and the effective enumeration the
-	// provisioner builds from it.
+	// provisioner builds from it. keyBuf holds provision-cache keys.
 	patch, merged, eff []topology.Link
+	keyBuf             []byte
 	loadedGen          int
 	baseGen            int
 }
 
-// evaluator computes candidate energies for one search invocation, either
-// inline on the controller's own optical state (workers <= 1) or on a pool
-// of workers with cloned states.
+// evaluator computes candidate energies, either inline on the controller's
+// own optical state (workers <= 1) or on a pool of workers with cloned
+// states. One evaluator lives as long as its Owan: the worker goroutines,
+// per-worker (optical.State, Allocator) scratch, delta snapshot, and cache
+// arenas all persist across ComputeNetworkState calls — begin() refreshes
+// the per-search state (counters, memoized energies, which depend on the
+// slot's demand set) without discarding any warm buffer, and the snapshot
+// is only rebuilt when the base topology's canonical key actually changed,
+// which it almost never has at the start of a warm-started slot.
 type evaluator struct {
 	o       *Owan
 	demands []alloc.Demand
@@ -145,41 +278,47 @@ type evaluator struct {
 	jobs    chan evalJob
 	results chan evalResult
 	done    chan struct{}
+	running bool
+	wctxs   []*workerCtx // persistent pool contexts (workers > 1)
 
 	hits, misses int
 	evals        []int // energy computations per worker slot
-	closed       bool
 
 	// pending reuses the per-batch job buffer across batches.
 	pending []evalJob
 
 	// Delta-mode state. snap is rebuilt (generation snapGen) whenever the
-	// base topology changes; between batch barriers it is immutable and
-	// shared read-only with the workers, as is base (read only on the cold
-	// fallback path). ctx0 is the inline context for workers <= 1 and wraps
-	// the controller's own state.
-	delta         bool
-	snap          optical.Snapshot
-	snapGen       int
-	snapSeq       int // baseSeq the snapshot was built for
-	base          *topology.LinkSet
-	baseLinks     []topology.Link // base's sorted enumeration, set per batch
-	builds        int
-	dHits, dFalls []int // per worker slot, like evals
-	ctx0          workerCtx
-	keyBufs       [][]byte
-	hashes        []uint64
-	accKey        []pairDelta
-	patchKey      []topology.Link
-	mergedKey     []topology.Link
+	// base topology's canonical key changes (snapKey remembers it across
+	// slots); between batch barriers it is immutable and shared read-only
+	// with the workers, as is base (read only on the cold fallback path).
+	// ctx0 is the inline context for workers <= 1 and wraps the controller's
+	// own state.
+	delta              bool
+	snap               optical.Snapshot
+	snapGen            int
+	snapSeq            int    // baseSeq the snapshot was built for (per search)
+	snapKey            []byte // canonical key of the snapshot's base (cross-slot)
+	baseKeyBuf         []byte
+	base               *topology.LinkSet
+	baseLinks          []topology.Link // base's sorted enumeration, set per batch
+	builds             int
+	dHits, dFalls      []int // per worker slot, like evals
+	provHits, provMiss []int // provision-cache activity per worker slot
+	ctx0               workerCtx
+	keyBufs            [][]byte
+	hashes             []uint64
+	candLinks          []topology.Link // scratch for classic-mode cache keys
+	baseKeyLinks       []topology.Link // scratch for the snapshot-gate key
+	accKey             []pairDelta
+	patchKey           []topology.Link
+	mergedKey          []topology.Link
 }
 
-// newEvaluator starts the pool. With workers <= 1 no goroutines are spawned
-// and evaluation runs inline, which is exactly the pre-parallel engine.
-func newEvaluator(o *Owan, demands []alloc.Demand) *evaluator {
+// newEvaluator builds the evaluator without starting any goroutine; begin
+// starts (or restarts) the pool lazily.
+func newEvaluator(o *Owan) *evaluator {
 	ev := &evaluator{
 		o:       o,
-		demands: demands,
 		workers: o.cfg.Workers,
 		cache:   newEnergyCache(o.cfg.EnergyCacheSize),
 		delta:   o.cfg.DeltaEval,
@@ -190,15 +329,14 @@ func newEvaluator(o *Owan, demands []alloc.Demand) *evaluator {
 	ev.evals = make([]int, ev.workers)
 	ev.dHits = make([]int, ev.workers)
 	ev.dFalls = make([]int, ev.workers)
+	ev.provHits = make([]int, ev.workers)
+	ev.provMiss = make([]int, ev.workers)
 	ev.snapSeq = -1
 	ev.ctx0 = workerCtx{opt: o.opt, al: o.al, loadedGen: -1, baseGen: -1}
 	if ev.workers > 1 {
-		ev.jobs = make(chan evalJob, o.cfg.BatchSize)
-		ev.results = make(chan evalResult, o.cfg.BatchSize)
-		ev.done = make(chan struct{})
 		for w := 0; w < ev.workers; w++ {
-			go ev.worker(w, &workerCtx{
-				opt: o.opt.Clone(), al: alloc.NewAllocator(),
+			ev.wctxs = append(ev.wctxs, &workerCtx{
+				id: w, opt: o.opt.Clone(), al: alloc.NewAllocator(),
 				loadedGen: -1, baseGen: -1,
 			})
 		}
@@ -206,12 +344,50 @@ func newEvaluator(o *Owan, demands []alloc.Demand) *evaluator {
 	return ev
 }
 
+// begin readies the evaluator for one search: fresh demand set and counters,
+// an emptied (but buffer-retaining) energy cache — energies depend on the
+// demands, so entries never survive a slot — and a running pool. The
+// controller's own optical state was overwritten by the previous slot's
+// final provisioning, so the inline context forgets what it holds; worker
+// clones still hold exactly the snapshot occupancy (RevertDelta restores it
+// after every delta), so their generation counters stay valid and a
+// retained snapshot lets them skip the reload entirely.
+func (ev *evaluator) begin(demands []alloc.Demand) {
+	ev.demands = demands
+	ev.hits, ev.misses, ev.builds = 0, 0, 0
+	for i := range ev.evals {
+		ev.evals[i], ev.dHits[i], ev.dFalls[i] = 0, 0, 0
+		ev.provHits[i], ev.provMiss[i] = 0, 0
+	}
+	ev.snapSeq = -1
+	ev.ctx0.loadedGen = -1
+	ev.ctx0.baseGen = -1 // the final Reallocate of the previous slot ran on o.al
+	if ev.cache != nil {
+		ev.cache.reset()
+	}
+	ev.ensureStarted()
+}
+
+// ensureStarted (re)spawns the worker goroutines. The pool contexts persist
+// across restarts, so a closed-then-reused controller keeps its warm scratch.
+func (ev *evaluator) ensureStarted() {
+	if ev.workers <= 1 || ev.running {
+		return
+	}
+	ev.jobs = make(chan evalJob, ev.o.cfg.BatchSize)
+	ev.results = make(chan evalResult, ev.o.cfg.BatchSize)
+	ev.done = make(chan struct{})
+	for _, ctx := range ev.wctxs {
+		go ev.worker(ctx.id, ctx)
+	}
+	ev.running = true
+}
+
 // worker evaluates jobs on its private optical state and allocator until
 // the pool closes. Owning both means a worker's steady-state energy
 // evaluations reuse the same scratch buffers job after job, so the hot loop
 // does not allocate.
 func (ev *evaluator) worker(id int, ctx *workerCtx) {
-	theta := ev.o.cfg.Net.ThetaGbps
 	for {
 		select {
 		case job := <-ev.jobs:
@@ -225,12 +401,45 @@ func (ev *evaluator) worker(id int, ctx *workerCtx) {
 				}
 				ev.results <- evalResult{idx: job.idx, energy: e}
 			} else {
-				ev.results <- evalResult{idx: job.idx, energy: energyOn(ctx.opt, ctx.al, theta, job.s, ev.demands)}
+				ev.results <- evalResult{idx: job.idx, energy: ev.energyFull(ctx, job.s)}
 			}
 		case <-ev.done:
 			return
 		}
 	}
+}
+
+// energyFull is the classic (materialized-candidate) energy with the
+// demand-independent provision LRU consulted first: on a hit the optical
+// provisioning — the expensive half of an energy — is skipped entirely and
+// the allocator runs on the cached effective enumeration, which is exactly
+// what ProvisionEffective would have produced (the map is a pure function
+// of the topology). Used by pool workers, the inline path, and the initial
+// evaluation of every search; safe concurrently, the cache locks.
+func (ev *evaluator) energyFull(ctx *workerCtx, s *topology.LinkSet) float64 {
+	theta := ev.o.cfg.Net.ThetaGbps
+	pc := ev.o.provCache
+	if pc == nil {
+		ctx.loadedGen = -1 // provisioning overwrites this context's occupancy
+		return energyOn(ctx.opt, ctx.al, theta, s, ev.demands)
+	}
+	// Enumerate into the retained scratch and key from it: s.AppendKey would
+	// allocate a fresh link slice per evaluation (LinkSet.Links).
+	ctx.merged = s.AppendLinks(ctx.merged[:0])
+	key := topology.AppendKeyFromLinks(ctx.keyBuf[:0], s.N, ctx.merged)
+	ctx.keyBuf = key
+	h := topology.KeyHash(key)
+	if links, n, ok := pc.get(h, key, ctx.eff[:0]); ok {
+		ctx.eff = links
+		ev.provHits[ctx.id]++
+		return ctx.al.ThroughputLinks(n, links, theta, ev.demands)
+	}
+	ev.provMiss[ctx.id]++
+	ctx.loadedGen = -1 // provisioning overwrites this context's occupancy
+	eff := ctx.opt.ProvisionEffective(s)
+	ctx.eff = eff.AppendLinks(ctx.eff[:0])
+	pc.put(h, key, eff.N, ctx.eff)
+	return ctx.al.ThroughputLinks(eff.N, ctx.eff, theta, ev.demands)
 }
 
 // deltaEnergy evaluates one move-list candidate against the current
@@ -279,12 +488,30 @@ func (ev *evaluator) deltaEnergy(ctx *workerCtx, moves []swapMove) (float64, boo
 	// into the base enumeration (exactly what materializing the candidate
 	// and re-enumerating it would produce), provision it, and allocate on
 	// the effective links — the same circuit and allocation sequence as a
-	// from-scratch evaluation, with no LinkSet built on either side.
+	// from-scratch evaluation, with no LinkSet built on either side. The
+	// provision LRU short-circuits the provisioning when this candidate's
+	// effective links are already known — in which case the context's
+	// occupancy (and its claim on the loaded snapshot) survives untouched.
 	ctx.patch = ctx.patch[:0]
 	for _, pd := range ctx.acc {
 		ctx.patch = append(ctx.patch, topology.Link{U: pd.u, V: pd.v, Count: linksGet(ev.baseLinks, pd.u, pd.v) + pd.d})
 	}
 	ctx.merged = topology.MergePatch(ctx.merged[:0], ev.baseLinks, ctx.patch)
+	if pc := ev.o.provCache; pc != nil {
+		key := topology.AppendKeyFromLinks(ctx.keyBuf[:0], ev.snap.N(), ctx.merged)
+		ctx.keyBuf = key
+		h := topology.KeyHash(key)
+		if links, n, ok := pc.get(h, key, ctx.eff[:0]); ok {
+			ctx.eff = links
+			ev.provHits[ctx.id]++
+			return ctx.al.ThroughputLinks(n, links, theta, ev.demands), false
+		}
+		ev.provMiss[ctx.id]++
+		ctx.loadedGen = -1 // the cold provisioning below overwrites the occupancy
+		ctx.eff = ctx.opt.ProvisionEffectiveLinks(ctx.merged, ctx.eff[:0])
+		pc.put(h, key, ev.snap.N(), ctx.eff)
+		return ctx.al.ThroughputLinks(ev.snap.N(), ctx.eff, theta, ev.demands), false
+	}
 	ctx.loadedGen = -1 // the cold provisioning below overwrites the occupancy
 	ctx.eff = ctx.opt.ProvisionEffectiveLinks(ctx.merged, ctx.eff[:0])
 	return ctx.al.ThroughputLinks(ev.snap.N(), ctx.eff, theta, ev.demands), false
@@ -304,7 +531,7 @@ func (ev *evaluator) runPending(out []float64) {
 				}
 				out[job.idx] = e
 			} else {
-				out[job.idx] = ev.o.Energy(job.s, ev.demands)
+				out[job.idx] = ev.energyFull(&ev.ctx0, job.s)
 			}
 		}
 		return
@@ -344,7 +571,8 @@ func (ev *evaluator) energies(cands []*topology.LinkSet, needEval []bool, out []
 			continue
 		}
 		if ev.cache != nil {
-			key := s.AppendKey(ev.keyBufs[i][:0])
+			ev.candLinks = s.AppendLinks(ev.candLinks[:0])
+			key := topology.AppendKeyFromLinks(ev.keyBufs[i][:0], s.N, ev.candLinks)
 			ev.keyBufs[i] = key
 			ev.hashes[i] = topology.KeyHash(key)
 			if e, ok := ev.cache.get(ev.hashes[i], key); ok {
@@ -379,16 +607,28 @@ func (ev *evaluator) energiesDelta(base *topology.LinkSet, baseLinks []topology.
 	out = ev.sizeOut(len(moves), out)
 	ev.baseLinks = baseLinks
 	if baseSeq != ev.snapSeq {
-		ev.o.opt.BuildSnapshot(&ev.snap, base)
-		ev.snapGen++
+		// The per-search sequence number says the base may have changed, but
+		// across slots it usually hasn't: a warm-started slot anneals from the
+		// previous slot's accepted topology, whose snapshot this evaluator
+		// still holds. Compare canonical keys and rebuild only on a real
+		// change — on a match snapGen stays put, so pool workers keep their
+		// loaded occupancy and warm allocator base too.
+		ev.baseKeyLinks = base.AppendLinks(ev.baseKeyLinks[:0])
+		key := topology.AppendKeyFromLinks(ev.baseKeyBuf[:0], base.N, ev.baseKeyLinks)
+		ev.baseKeyBuf = key
+		if ev.snapKey == nil || !bytes.Equal(key, ev.snapKey) {
+			ev.o.opt.BuildSnapshot(&ev.snap, base)
+			ev.snapGen++
+			ev.builds++
+			ev.snapKey = append(ev.snapKey[:0], key...)
+			// BuildSnapshot left the controller's state holding exactly the
+			// snapshot occupancy; the inline context is that same state.
+			if ev.workers <= 1 {
+				ev.ctx0.loadedGen = ev.snapGen
+			}
+		}
 		ev.snapSeq = baseSeq
 		ev.base = base
-		ev.builds++
-		// BuildSnapshot left the controller's state holding exactly the
-		// snapshot occupancy; the inline context is that same state.
-		if ev.workers <= 1 {
-			ev.ctx0.loadedGen = ev.snapGen
-		}
 	}
 	ev.pending = ev.pending[:0]
 	if ev.cache != nil {
@@ -446,9 +686,9 @@ func (ev *evaluator) growKeys(n int) {
 	ev.hashes = ev.hashes[:n]
 }
 
-// finish stops the workers and copies the counters into stats.
+// finish copies the search's counters into stats. The pool keeps running —
+// the evaluator is controller-lifetime state, stopped by Owan.Close.
 func (ev *evaluator) finish(stats *SearchStats) {
-	ev.close()
 	stats.CacheHits = ev.hits
 	stats.CacheMisses = ev.misses
 	stats.WorkerEvals = append([]int(nil), ev.evals...)
@@ -459,15 +699,20 @@ func (ev *evaluator) finish(stats *SearchStats) {
 	for _, f := range ev.dFalls {
 		stats.DeltaFallbacks += f
 	}
+	for _, h := range ev.provHits {
+		stats.ProvisionHits += h
+	}
+	for _, m := range ev.provMiss {
+		stats.ProvisionMisses += m
+	}
 }
 
-// close stops the worker pool; it is idempotent.
+// close stops the worker pool; it is idempotent, and ensureStarted can spin
+// the same contexts back up afterwards.
 func (ev *evaluator) close() {
-	if ev.closed {
+	if !ev.running {
 		return
 	}
-	ev.closed = true
-	if ev.done != nil {
-		close(ev.done)
-	}
+	ev.running = false
+	close(ev.done)
 }

@@ -23,6 +23,7 @@ func runSearch(net *topology.Network, ts []*transfer.Transfer, cfg Config) *Netw
 	cfg.Net = net
 	cfg.Policy = transfer.SJF
 	o := New(cfg)
+	defer o.Close()
 	return o.ComputeNetworkState(topology.InitialTopology(net), ts, 0, 300)
 }
 

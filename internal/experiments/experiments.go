@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"owan/internal/core"
@@ -65,6 +66,11 @@ type Scale struct {
 	// annealing search (see core.Config.DeltaEval). The trajectory is
 	// bit-identical either way; only wall-clock changes.
 	OwanDeltaEval bool
+	// OwanProvisionCache sizes the demand-independent provision cache that
+	// persists across slots (entries; 0 = core's default on, negative
+	// disables — see core.Config.ProvisionCacheSize). Like the energy
+	// cache it never changes a trajectory, only wall-clock.
+	OwanProvisionCache int
 	// FigWorkers bounds the number of simulation runs a figure generator
 	// executes concurrently (0 or 1 = serial). Figure output is
 	// bit-identical for any value: runs are independent simulations and
@@ -170,6 +176,7 @@ func Scheduler(name string, net *topology.Network, sc Scale, deadlines bool, see
 	owanCfg.BatchSize = sc.OwanBatch
 	owanCfg.EnergyCacheSize = sc.OwanEnergyCache
 	owanCfg.DeltaEval = sc.OwanDeltaEval
+	owanCfg.ProvisionCacheSize = sc.OwanProvisionCache
 	owanCfg.Seed = seed
 	if err := owanCfg.Validate(); err != nil {
 		return nil, err
@@ -231,6 +238,9 @@ func Run(spec RunSpec) (*sim.Result, error) {
 	sched, err := Scheduler(spec.Approach, net, spec.Scale, spec.DeadlineFactor > 0, spec.Seed+200, spec.OwanBudget)
 	if err != nil {
 		return nil, err
+	}
+	if c, ok := sched.(io.Closer); ok {
+		defer c.Close() // stop Owan-backed schedulers' evaluator pools
 	}
 	maxSlots := 50 * spec.Scale.HorizonSlots
 	if spec.DeadlineFactor > 0 {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"owan/internal/figdata"
 	"owan/internal/sim"
@@ -41,6 +42,9 @@ func FailureRecovery(sc Scale) (*figdata.Figure, error) {
 		}
 		if ts, ok := sched.(*sim.TEScheduler); ok {
 			ts.Net = net // enable failure awareness for the baseline
+		}
+		if c, ok := sched.(io.Closer); ok {
+			defer c.Close()
 		}
 		res, err := sim.Run(sim.Config{
 			Net:             net,

@@ -23,6 +23,9 @@ type Scratch struct {
 	// beats any hashed structure.
 	removed []bool
 	banned  [][3]int
+	// Multi-word visited set of MaskShortestNodeWeightedW (the >64-vertex
+	// twin of the single-word seen register).
+	seenW []uint64
 }
 
 // grow sizes the buffers for a graph with n vertices.
@@ -94,6 +97,76 @@ func MaskShortestNodeWeighted(sc *Scratch, reach []uint64, nodeMask uint64, w []
 				dist[v] = nd
 				prev[v].From = it.v
 				sc.h.push(item{v, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return hops, false
+	}
+	i := len(hops)
+	for v := dst; v != src; v = prev[v].From {
+		hops = append(hops, v)
+	}
+	hops = append(hops, src)
+	for a, b := i, len(hops)-1; a < b; a, b = a+1, b-1 {
+		hops[a], hops[b] = hops[b], hops[a]
+	}
+	return hops, true
+}
+
+// MaskShortestNodeWeightedW is MaskShortestNodeWeighted for vertex sets past
+// one word: reach holds `words` uint64 per vertex (bitset layout, row-major),
+// nodeMask is one `words`-long bitset, and vertex ids run to 64*words. The
+// relaxation loop scans each reach row word-ascending then bit-ascending —
+// ascending vertex id, the same neighbor order as the single-word loop and
+// the materialized transit graph — so the heap push sequence, tie-breaks,
+// and resulting path are bit-identical to both.
+func MaskShortestNodeWeightedW(sc *Scratch, reach []uint64, words int, nodeMask []uint64, w []float64, src, dst int, hops []int) (_ []int, ok bool) {
+	n := len(reach) / words
+	sc.grow(n)
+	dist, prev := sc.dist, sc.prev
+	for wi, mw := range nodeMask {
+		base := wi << 6
+		for m := mw; m != 0; m &= m - 1 {
+			v := base + bits.TrailingZeros64(m)
+			dist[v] = math.Inf(1)
+			prev[v].From = -1
+		}
+	}
+	dist[src] = 0
+	if cap(sc.seenW) < words {
+		sc.seenW = make([]uint64, words)
+	}
+	seen := sc.seenW[:words]
+	for i := range seen {
+		seen[i] = 0
+	}
+	sc.h = sc.h[:0]
+	sc.h.push(item{src, 0})
+	for len(sc.h) > 0 {
+		it := sc.h.pop()
+		if seen[it.v>>6]>>(uint(it.v)&63)&1 == 1 {
+			continue
+		}
+		seen[it.v>>6] |= 1 << (uint(it.v) & 63)
+		if it.v == dst {
+			break
+		}
+		du := dist[it.v]
+		row := reach[it.v*words : it.v*words+words]
+		for wi := 0; wi < words; wi++ {
+			m := row[wi] & nodeMask[wi]
+			if m == 0 {
+				continue
+			}
+			base := wi << 6
+			for ; m != 0; m &= m - 1 {
+				v := base + bits.TrailingZeros64(m)
+				if nd := du + w[v]; nd < dist[v] {
+					dist[v] = nd
+					prev[v].From = it.v
+					sc.h.push(item{v, nd})
+				}
 			}
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"owan/internal/bitset"
 	"owan/internal/graph"
 	"owan/internal/topology"
 )
@@ -120,19 +121,29 @@ type State struct {
 	// is the static reach adjacency of the regenerator transit graph,
 	// probed O(n²) times per findRegenRoute.
 	inReach []bool
-	// regenReach[u*ns+v] reports whether a circuit u->v can be provisioned
-	// on an EMPTY network: some hop sequence exists in which every hop is
-	// within optical reach and every interior site has a nonzero static
-	// regenerator pool. A pair failing this test fails in every provisioning
-	// order and under any occupancy, which the delta trust gate exploits: a
-	// statically infeasible circuit is an order-independent shortfall, not a
-	// resource signal.
-	regenReach []bool
+	// regenReach holds one maskW-word bitset row per source site: bit v of
+	// row u reports whether a circuit u->v can be provisioned on an EMPTY
+	// network — some hop sequence exists in which every hop is within
+	// optical reach and every interior site has a nonzero static regenerator
+	// pool. A pair failing this test fails in every provisioning order and
+	// under any occupancy, which the delta trust gate exploits: a statically
+	// infeasible circuit is an order-independent shortfall, not a resource
+	// signal.
+	regenReach bitset.Set
 	// reachMask[u] packs row u of inReach into one word when the network has
 	// at most 64 sites (nil otherwise): the transit-graph adjacency as
 	// bitmasks, consumed by graph.MaskShortestNodeWeighted so the common
 	// regenerator-route query never materializes the transit graph.
-	reachMask []uint64
+	// reachMaskW is its multi-word twin for larger networks (maskW words per
+	// row, consumed by MaskShortestNodeWeightedW); exactly one of the two is
+	// non-nil.
+	reachMask  []uint64
+	reachMaskW bitset.Set
+	maskW      int // words per bitset row (bitset.Words(ns))
+	// savedMask/savedMaskW park the reach masks while SetScalarFallback(true)
+	// is in effect, so the fast paths can be restored afterwards.
+	savedMask  []uint64
+	savedMaskW bitset.Set
 	// scratch holds the reusable per-circuit working buffers. It is owned
 	// by this State alone: Clone gives each clone a fresh lazy scratch, so
 	// clones stay safe to use concurrently.
@@ -143,15 +154,16 @@ type State struct {
 // here is working memory whose contents are dead between exported calls;
 // buffers grow monotonically and are reused.
 type provScratch struct {
-	sets  []waveSet       // routeLambda wavelength scan buffer
-	nodes []int           // regenerator-graph node list
-	nodeW []float64       // per-site node weights (mask Dijkstra)
-	need  []int           // per-site regenerator need (routeBuildable)
-	hops  []int           // hopsOf result buffer
-	tg    *graph.Graph    // regenerator transit graph, Reset per route
-	sp    graph.Scratch   // Dijkstra/Yen scratch for tg
-	links []topology.Link // AppendLinks buffer (ProvisionEffective)
-	eff   *topology.LinkSet
+	sets      []waveSet       // routeLambda wavelength scan buffer
+	nodes     []int           // regenerator-graph node list
+	nodeW     []float64       // per-site node weights (mask Dijkstra)
+	nodeMaskW bitset.Set      // multi-word node mask (>64-site mask Dijkstra)
+	need      []int           // per-site regenerator need (routeBuildable)
+	hops      []int           // hopsOf result buffer
+	tg        *graph.Graph    // regenerator transit graph, Reset per route
+	sp        graph.Scratch   // Dijkstra/Yen scratch for tg
+	links     []topology.Link // AppendLinks buffer (ProvisionEffective)
+	eff       *topology.LinkSet
 }
 
 // fiberRoute is one candidate fiber realization of a segment.
@@ -174,8 +186,10 @@ type routeTables struct {
 	pairPath   [][][]int
 	pairAlts   [][][]fiberRoute
 	inReach    []bool
-	regenReach []bool
+	regenReach bitset.Set
 	reachMask  []uint64
+	reachMaskW bitset.Set
+	maskW      int
 }
 
 // The route-table cache: building the tables runs an all-pairs k-shortest-
@@ -255,6 +269,7 @@ func buildRouteTables(net *topology.Network) *routeTables {
 			rt.inReach[u*ns+v] = rt.pairDist[u][v] <= net.ReachKm && rt.pairPath[u][v] != nil
 		}
 	}
+	rt.maskW = bitset.Words(ns)
 	if ns <= 64 {
 		rt.reachMask = make([]uint64, ns)
 		for u := 0; u < ns; u++ {
@@ -264,14 +279,25 @@ func buildRouteTables(net *topology.Network) *routeTables {
 				}
 			}
 		}
+	} else {
+		rt.reachMaskW = make(bitset.Set, ns*rt.maskW)
+		for u := 0; u < ns; u++ {
+			row := rt.reachMaskW[u*rt.maskW : (u+1)*rt.maskW]
+			for v := 0; v < ns; v++ {
+				if rt.inReach[u*ns+v] {
+					row.Set(v)
+				}
+			}
+		}
 	}
 	// Static regenerator reachability: one BFS per source over the reach
 	// adjacency, expanding only through sites whose static regenerator pool
 	// is nonzero (the source itself needs no regenerator to transmit).
-	rt.regenReach = make([]bool, ns*ns)
+	rt.regenReach = make(bitset.Set, ns*rt.maskW)
 	queue := make([]int, 0, ns)
 	seen := make([]bool, ns)
 	for u := 0; u < ns; u++ {
+		row := rt.regenReach[u*rt.maskW : (u+1)*rt.maskW]
 		clear(seen)
 		seen[u] = true
 		queue = append(queue[:0], u)
@@ -282,7 +308,7 @@ func buildRouteTables(net *topology.Network) *routeTables {
 					continue
 				}
 				seen[v] = true
-				rt.regenReach[u*ns+v] = true
+				row.Set(v)
 				if net.Sites[v].Regenerators > 0 {
 					queue = append(queue, v)
 				}
@@ -315,6 +341,8 @@ func NewState(net *topology.Network) *State {
 		inReach:    rt.inReach,
 		regenReach: rt.regenReach,
 		reachMask:  rt.reachMask,
+		reachMaskW: rt.reachMaskW,
+		maskW:      rt.maskW,
 	}
 	for _, f := range net.Fibers {
 		s.fiberUse[f.ID] = newWaveSet(f.Wavelengths)
@@ -362,6 +390,10 @@ func (s *State) Clone() *State {
 		inReach:          s.inReach,
 		regenReach:       s.regenReach,
 		reachMask:        s.reachMask,
+		reachMaskW:       s.reachMaskW,
+		maskW:            s.maskW,
+		savedMask:        s.savedMask,
+		savedMaskW:       s.savedMaskW,
 	}
 	for id, w := range s.fiberUse {
 		if w != nil {
@@ -415,6 +447,25 @@ func (s *State) FiberDistKm(u, v int) float64 { return s.pairDist[u][v] }
 // remaining pool.
 func (s *State) SetUnitRegenWeights(on bool) { s.unitRegenWeights = on }
 
+// SetScalarFallback disables (or restores) the bitmask regenerator-routing
+// fast paths, forcing every route query onto the materialized transit-graph
+// path. Results are bit-identical either way — like the allocator knob of the
+// same name, this exists so benchmarks can measure the masks' speedup and
+// differential tests can cross-check the two implementations.
+func (s *State) SetScalarFallback(on bool) {
+	if on {
+		if s.reachMask != nil || s.reachMaskW != nil {
+			s.savedMask, s.savedMaskW = s.reachMask, s.reachMaskW
+			s.reachMask, s.reachMaskW = nil, nil
+		}
+		return
+	}
+	if s.savedMask != nil || s.savedMaskW != nil {
+		s.reachMask, s.reachMaskW = s.savedMask, s.savedMaskW
+		s.savedMask, s.savedMaskW = nil, nil
+	}
+}
+
 // FiberPathIDs returns the fiber ids of the shortest fiber path between two
 // sites (nil if none). The slice is shared; callers must not mutate it.
 func (s *State) FiberPathIDs(u, v int) []int { return s.pairPath[u][v] }
@@ -426,7 +477,9 @@ func (s *State) canReach(u, v int) bool { return s.inReach[u*s.net.NumSites()+v]
 // staticFeasible reports whether a circuit u->v could be provisioned on an
 // empty network (precomputed; see the regenReach field). False means the
 // pair fails in every provisioning order, independent of occupancy.
-func (s *State) staticFeasible(u, v int) bool { return s.regenReach[u*s.net.NumSites()+v] }
+func (s *State) staticFeasible(u, v int) bool {
+	return s.regenReach[u*s.maskW+v>>6]>>(uint(v)&63)&1 == 1
+}
 
 // segmentFeasible checks that some in-reach fiber route u->v has a common
 // free wavelength; it returns the route and wavelength, or a nil route.
@@ -581,6 +634,36 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 			}
 		}
 		hops, ok := graph.MaskShortestNodeWeighted(&sc.sp, s.reachMask, nodeMask, w, src, dst, sc.hops[:0])
+		if !ok {
+			return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
+		}
+		sc.hops = hops
+		if s.routeBuildable(hops) {
+			return hops, nil
+		}
+	} else if s.reachMaskW != nil {
+		// Multi-word twin of the branch above for networks past 64 sites:
+		// identical node weights and relaxation order, so the same route
+		// falls out (see MaskShortestNodeWeightedW).
+		if cap(sc.nodeW) < ns {
+			sc.nodeW = make([]float64, ns)
+		}
+		w := sc.nodeW[:ns]
+		sc.nodeMaskW = bitset.Grow(sc.nodeMaskW, ns)
+		for v := 0; v < ns; v++ {
+			if v == src || v == dst {
+				sc.nodeMaskW.Set(v)
+				w[v] = 0
+			} else if s.regenFree[v] > 0 {
+				sc.nodeMaskW.Set(v)
+				if s.unitRegenWeights {
+					w[v] = 1
+				} else {
+					w[v] = 1/float64(s.regenFree[v]) + 1e-6
+				}
+			}
+		}
+		hops, ok := graph.MaskShortestNodeWeightedW(&sc.sp, s.reachMaskW, s.maskW, sc.nodeMaskW, w, src, dst, sc.hops[:0])
 		if !ok {
 			return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
 		}

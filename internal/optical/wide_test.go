@@ -1,0 +1,83 @@
+package optical
+
+import (
+	"math/rand"
+	"testing"
+
+	"owan/internal/topology"
+)
+
+// TestWideMaskRoutingMatchesMaterialized is the >64-site optical
+// differential: on ISP100-class networks, provisioning with the multi-word
+// reach masks (reachMaskW, the default) must produce exactly the effective
+// topology the materialized transit-graph path does. The materialized
+// reference is obtained by nil-ing the mask on a sibling State — the
+// findRegenRoute branch falls through to building the regenerator graph.
+func TestWideMaskRoutingMatchesMaterialized(t *testing.T) {
+	nets := []*topology.Network{
+		topology.ISP(100, 10, 1),
+		topology.ISP(80, 8, 2),
+	}
+	for ni, net := range nets {
+		n := net.NumSites()
+		mask := NewState(net)
+		if mask.reachMaskW == nil || mask.reachMask != nil {
+			t.Fatalf("net %d: expected the multi-word mask on %d sites", ni, n)
+		}
+		plain := NewState(net)
+		plain.SetScalarFallback(true) // force the materialized transit-graph path
+		if plain.reachMaskW != nil {
+			t.Fatal("SetScalarFallback left the multi-word mask live")
+		}
+		rng := rand.New(rand.NewSource(int64(ni)))
+		cases := []*topology.LinkSet{topology.InitialTopology(net)}
+		for c := 0; c < 6; c++ {
+			ls := topology.NewLinkSet(n)
+			for i := 0; i < 3+rng.Intn(3*n); i++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				ls.Add(u, v, 1+rng.Intn(4))
+			}
+			cases = append(cases, ls)
+		}
+		for ci, ls := range cases {
+			want := plain.ProvisionEffective(ls).Clone()
+			got := mask.ProvisionEffective(ls)
+			sameLinkSet(t, "mask vs materialized", want, got)
+			_ = ci
+		}
+	}
+}
+
+// TestWideStaticFeasibleMatchesBFS recomputes static regenerator
+// reachability naively on a >64-site network and pins the bitset rows to it.
+func TestWideStaticFeasibleMatchesBFS(t *testing.T) {
+	net := topology.ISP(100, 10, 3)
+	ns := net.NumSites()
+	s := NewState(net)
+	for u := 0; u < ns; u++ {
+		seen := make([]bool, ns)
+		seen[u] = true
+		queue := []int{u}
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			for v := 0; v < ns; v++ {
+				if seen[v] || !s.inReach[x*ns+v] {
+					continue
+				}
+				seen[v] = true
+				if net.Sites[v].Regenerators > 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+		for v := 0; v < ns; v++ {
+			want := seen[v] && v != u
+			if got := s.staticFeasible(u, v); got != want {
+				t.Fatalf("staticFeasible(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}

@@ -11,12 +11,20 @@ type FailureAware interface {
 // the failed fiber. The warm-started annealing then reconverges with
 // incremental updates, exactly as the paper argues.
 func (s *OwanScheduler) OnFiberFailure(fiberID int) {
+	old := s.O
 	s.O = s.O.WithoutFiber(fiberID)
+	if s.O != old {
+		old.Close() // the replaced controller's evaluator pool is done
+	}
 }
 
 // OnFiberFailure for the greedy baseline mirrors OwanScheduler.
 func (s *GreedyScheduler) OnFiberFailure(fiberID int) {
+	old := s.O
 	s.O = s.O.WithoutFiber(fiberID)
+	if s.O != old {
+		old.Close()
+	}
 }
 
 // injectFailures delivers the fiber failures configured for a slot to a

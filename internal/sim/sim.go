@@ -94,6 +94,15 @@ func Run(cfg Config) (*Result, error) {
 		SlotSeconds: cfg.SlotSeconds,
 	}
 	topo := cfg.Initial.Clone()
+	// Per-run scratch for the changed-link computation: the sorted link
+	// enumerations of the outgoing and incoming topologies and the sorted
+	// changed pairs they merge-diff into, all reused across slots so the
+	// per-slot reconfiguration check performs no map work and no allocation
+	// in steady state.
+	var (
+		prevLinks, nextLinks []topology.Link
+		changed              [][2]int
+	)
 	// negligibleGbits treats sub-kilobyte residues as complete: allocators
 	// drop rates below their numerical floor, so without this cutoff a
 	// transfer could approach zero asymptotically and never finish.
@@ -122,7 +131,9 @@ func Run(cfg Config) (*Result, error) {
 			newTopo = topo
 		}
 		churn := topo.Diff(newTopo)
-		changed := changedLinks(topo, newTopo)
+		prevLinks = topo.AppendLinks(prevLinks[:0])
+		nextLinks = newTopo.AppendLinks(nextLinks[:0])
+		changed = changedPairs(changed[:0], prevLinks, nextLinks)
 
 		now := float64(slot) * cfg.SlotSeconds
 		sent := 0.0
@@ -183,31 +194,64 @@ func makespan(ts []*transfer.Transfer) float64 {
 	return m
 }
 
-func changedLinks(a, b *topology.LinkSet) map[[2]int]bool {
-	out := map[[2]int]bool{}
-	seen := map[[2]int]bool{}
-	for k, v := range a.Count {
-		seen[k] = true
-		if b.Count[k] != v {
-			out[k] = true
+// changedPairs merge-diffs two (U, V)-sorted link enumerations and appends
+// every canonical pair whose circuit count differs (including pairs present
+// on only one side — LinkSet never stores zero counts) to dst, which stays
+// sorted. Equivalent to diffing the two Count maps, without building any map.
+func changedPairs(dst [][2]int, a, b []topology.Link) [][2]int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		la, lb := a[i], b[j]
+		switch {
+		case la.U < lb.U || (la.U == lb.U && la.V < lb.V):
+			dst = append(dst, [2]int{la.U, la.V})
+			i++
+		case lb.U < la.U || (la.U == lb.U && lb.V < la.V):
+			dst = append(dst, [2]int{lb.U, lb.V})
+			j++
+		default:
+			if la.Count != lb.Count {
+				dst = append(dst, [2]int{la.U, la.V})
+			}
+			i++
+			j++
 		}
 	}
-	for k, v := range b.Count {
-		if !seen[k] && v != 0 {
-			out[k] = true
-		}
+	for ; i < len(a); i++ {
+		dst = append(dst, [2]int{a[i].U, a[i].V})
 	}
-	return out
+	for ; j < len(b); j++ {
+		dst = append(dst, [2]int{b[j].U, b[j].V})
+	}
+	return dst
 }
 
-func crossesChanged(alloc []transfer.PathRate, changed map[[2]int]bool) bool {
+// containsPair binary-searches a sorted pair slice for the canonical (u, v).
+func containsPair(pairs [][2]int, u, v int) bool {
+	lo, hi := 0, len(pairs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		p := pairs[mid]
+		if p[0] < u || (p[0] == u && p[1] < v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(pairs) && pairs[lo][0] == u && pairs[lo][1] == v
+}
+
+func crossesChanged(alloc []transfer.PathRate, changed [][2]int) bool {
+	if len(changed) == 0 {
+		return false
+	}
 	for _, pr := range alloc {
 		for i := 0; i+1 < len(pr.Path); i++ {
 			u, v := pr.Path[i], pr.Path[i+1]
 			if u > v {
 				u, v = v, u
 			}
-			if changed[[2]int{u, v}] {
+			if containsPair(changed, u, v) {
 				return true
 			}
 		}
@@ -290,6 +334,13 @@ func (s *OwanScheduler) Schedule(slot int, topo *topology.LinkSet, active []*tra
 	return st.Topology, st.Alloc
 }
 
+// Close implements io.Closer: it stops the controller's persistent evaluator
+// pool. Runners that own their scheduler call it when the run ends.
+func (s *OwanScheduler) Close() error {
+	s.O.Close()
+	return nil
+}
+
 // GreedyScheduler adapts the separate-layer greedy of Figure 10(a).
 type GreedyScheduler struct {
 	O           *core.Owan
@@ -303,4 +354,10 @@ func (s *GreedyScheduler) Name() string { return "greedy-separate" }
 func (s *GreedyScheduler) Schedule(slot int, topo *topology.LinkSet, active []*transfer.Transfer) (*topology.LinkSet, map[int][]transfer.PathRate) {
 	st := s.O.GreedySeparate(active, slot, s.SlotSeconds)
 	return st.Topology, st.Alloc
+}
+
+// Close implements io.Closer, mirroring OwanScheduler.
+func (s *GreedyScheduler) Close() error {
+	s.O.Close()
+	return nil
 }

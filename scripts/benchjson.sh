@@ -25,7 +25,9 @@ COUNT=${COUNT:-1}
 tmp=$(mktemp "${TMPDIR:-/tmp}/benchjson.XXXXXX") || exit 1
 trap 'rm -f "$tmp"' EXIT INT TERM
 
-$GO test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" "$PKG" >"$tmp" 2>&1
+# -p 1: run package test binaries one at a time — the annealing benchmarks
+# saturate every core, so concurrent packages contend and skew ns/op.
+$GO test -p 1 -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" "$PKG" >"$tmp" 2>&1
 status=$?
 if [ $status -ne 0 ]; then
     echo "benchjson: benchmarks failed:" >&2
