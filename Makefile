@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare bench-json bench-smoke faults check
+.PHONY: build vet test race bench bench-compare bench-json bench-smoke temper faults check
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ bench-compare:
 # >64-site ISP100-class energy benchmarks in internal/core — and writes the
 # results as a JSON map (name -> ns/op, allocs/op; schema in DESIGN.md §8)
 # so the numbers can be committed and diffed across PRs.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	sh scripts/benchjson.sh 'BenchmarkAnneal|BenchmarkEnergyISP' $(BENCH_JSON) './...'
 
@@ -41,6 +41,14 @@ bench-json:
 # carries the scale benchmarks (ISP100/ISP200 energy).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/core
+
+# temper replays the committed 300-seed golden digests: the refactored
+# search loop in compat mode (Replicas=1, WarmStart=false) must reproduce
+# the pre-tempering annealer bit for bit, across ISP40 and a >64-site
+# network, through a WithoutFiber failure event. -count=1 defeats the test
+# cache so the differential actually runs.
+temper:
+	$(GO) test -count=1 -run 'TestTemperGoldenDifferential' ./internal/core/
 
 # Fault-injection integration matrix: the end-to-end scenario (controller
 # killed mid-slot, one client partitioned, frames corrupted) must pass
@@ -55,6 +63,7 @@ faults:
 	done
 
 # check is the tier-1 gate: clean build, vet, full tests, race-detected
-# internal tests (including the delta differential harnesses), a one-shot
-# benchmark smoke, and the seeded fault-injection matrix.
-check: build vet test race bench-smoke faults
+# internal tests (including the delta differential harnesses), the
+# tempering golden differential, a one-shot benchmark smoke, and the
+# seeded fault-injection matrix.
+check: build vet test race temper bench-smoke faults

@@ -330,6 +330,61 @@ func BenchmarkAnnealISP100(b *testing.B) {
 	}
 }
 
+// --- Warm-start + replica exchange (ISSUE 6 tentpole) ---
+
+// benchAnnealTempered measures the tempering engine on the 40-site ISP:
+// one persistent controller driven across b.N slots, the way a scheduler
+// does, so warm starts see the previous slot's accepted energy. Reports
+// chain throughput plus the exchange/early-exit telemetry.
+func benchAnnealTempered(b *testing.B, replicas int, warm bool) {
+	net := topology.ISP(40, 10, 1)
+	ts := ablationWorkload(b, net)
+	cfg := core.Config{
+		Net: net, Policy: transfer.SJF, Seed: 11,
+		// Let the temperature schedule (and the early exit), not the
+		// iteration cap, end each search: warm-started slots run genuinely
+		// shorter schedules and that is the effect being measured.
+		MaxIterations: 2000, BatchSize: 8, Workers: runtime.GOMAXPROCS(0),
+		MaxChurn: -1, Replicas: replicas, WarmStart: warm,
+	}
+	o := core.New(cfg)
+	defer o.Close()
+	start := topology.InitialTopology(net)
+	o.ComputeNetworkState(start, ts, 0, experiments.SlotSeconds) // warm the evaluator
+	b.ResetTimer()
+	iters, attempts, exchanges, early := 0, 0, 0, 0
+	energy := 0.0
+	for i := 0; i < b.N; i++ {
+		st := o.ComputeNetworkState(start, ts, i+1, experiments.SlotSeconds)
+		iters += st.Stats.Iterations
+		attempts += st.Stats.ExchangeAttempts
+		exchanges += st.Stats.Exchanges
+		if st.Stats.EarlyExit {
+			early++
+		}
+		energy = st.Stats.BestEnergy
+	}
+	b.ReportMetric(float64(iters)/b.Elapsed().Seconds(), "anneal-iters/s")
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	b.ReportMetric(energy, "gbps-energy")
+	if attempts > 0 {
+		b.ReportMetric(100*float64(exchanges)/float64(attempts), "exchange-%")
+	}
+	b.ReportMetric(100*float64(early)/float64(b.N), "early-exit-%")
+}
+
+// BenchmarkAnnealTemperedR4 is the full tentpole configuration: a 4-rung
+// ladder with warm-started schedules across slots.
+func BenchmarkAnnealTemperedR4(b *testing.B) { benchAnnealTempered(b, 4, true) }
+
+// BenchmarkAnnealTemperedR4Cold isolates the ladder from the warm start:
+// every slot runs the full cold schedule on 4 rungs.
+func BenchmarkAnnealTemperedR4Cold(b *testing.B) { benchAnnealTempered(b, 4, false) }
+
+// BenchmarkAnnealTemperedWarmOnly isolates the warm start from the ladder:
+// a single chain whose repeated-demand slots start low and early-exit.
+func BenchmarkAnnealTemperedWarmOnly(b *testing.B) { benchAnnealTempered(b, 1, true) }
+
 // TestMemoizedCacheNoRegression guards the energy cache against the cost
 // regression BENCH_PR4.json recorded (cache-on allocating ~38% more than
 // cache-off from per-put key copies): on the memoization-friendly workload

@@ -36,6 +36,8 @@ func main() {
 		cache     = flag.Int("cache", 0, "energy memoization cache entries (0 = off)")
 		provc     = flag.Int("provcache", 0, "cross-slot provision cache entries (0 = default on, negative = off; results identical either way)")
 		delta     = flag.Bool("delta", false, "incremental candidate evaluation (core.Config.DeltaEval); results identical for a seed either way")
+		replicas  = flag.Int("replicas", 0, "parallel-tempering replica count (0 or 1 = single chain; part of the search semantics)")
+		warm      = flag.Bool("warmstart", false, "seed each slot's cooling schedule from the previous slot (shorter schedules on low-drift slots)")
 		heartbeat = flag.Duration("heartbeat", controlplane.DefaultReadTimeout, "declare a client dead after this much silence (clients ping every 10s by default)")
 	)
 	flag.Parse()
@@ -62,6 +64,8 @@ func main() {
 	cfg.EnergyCacheSize = *cache
 	cfg.ProvisionCacheSize = *provc
 	cfg.DeltaEval = *delta
+	cfg.Replicas = *replicas
+	cfg.WarmStart = *warm
 	ctrl, err := controlplane.NewController(cfg, slot.Seconds(), nil)
 	if err != nil {
 		log.Fatal(err)
@@ -86,9 +90,22 @@ func main() {
 			st := ctrl.Tick()
 			up := ctrl.LastUpdatePlan()
 			eff := metrics.ComputeSearchEfficiency(st.CacheHits, st.CacheMisses, st.WorkerEvals)
-			log.Printf("slot %d: energy %.1f Gbps (from %.1f), %d SA iterations (%d evals, cache %.0f%%, pool balance %.2f), churn %d, update %d ops/%d rounds, completed %d",
+			temper := ""
+			if st.Replicas > 1 || st.WarmStarted {
+				teff := metrics.ComputeTemperingEfficiency(st.ExchangeAttempts, st.Exchanges, st.Iterations, st.Replicas, cfg.MaxIterations)
+				mode := "cold"
+				if st.WarmStarted {
+					mode = "warm"
+				}
+				if st.EarlyExit {
+					mode += "+converged"
+				}
+				temper = fmt.Sprintf(", %dx replicas (%s, exch %.0f%%, budget %.0f%%)",
+					st.Replicas, mode, 100*teff.ExchangeRate, 100*teff.BudgetUsed)
+			}
+			log.Printf("slot %d: energy %.1f Gbps (from %.1f), %d SA iterations (%d evals, cache %.0f%%, pool balance %.2f)%s, churn %d, update %d ops/%d rounds, completed %d",
 				ctrl.Slot()-1, st.BestEnergy, st.InitialEnergy, st.Iterations,
-				eff.Evaluations, 100*eff.HitRate, eff.WorkerBalance,
+				eff.Evaluations, 100*eff.HitRate, eff.WorkerBalance, temper,
 				st.Churn, up.Ops, up.Rounds, ctrl.Completed())
 		case <-sig:
 			fmt.Println("\nshutting down")

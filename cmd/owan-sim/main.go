@@ -38,6 +38,8 @@ func main() {
 		cache    = flag.Int("cache", 0, "annealing energy memoization cache entries (0 = off)")
 		provc    = flag.Int("provcache", 0, "cross-slot provision cache entries (0 = default on, negative = off; same results, less wall-clock)")
 		delta    = flag.Bool("delta", false, "incremental candidate evaluation (snapshot deltas; same results, less wall-clock)")
+		replicas = flag.Int("replicas", 0, "parallel-tempering replica count (0 or 1 = single chain; part of the search semantics)")
+		warm     = flag.Bool("warmstart", false, "seed each slot's cooling schedule from the previous slot (shorter schedules on low-drift slots)")
 		pf       = prof.Register()
 	)
 	flag.Parse()
@@ -56,6 +58,8 @@ func main() {
 	sc.OwanEnergyCache = *cache
 	sc.OwanProvisionCache = *provc
 	sc.OwanDeltaEval = *delta
+	sc.OwanReplicas = *replicas
+	sc.OwanWarmStart = *warm
 	var reqs []transfer.Request
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)

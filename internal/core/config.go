@@ -25,7 +25,11 @@ func DefaultConfig(net *topology.Network) Config {
 		// Workers and BatchSize stay 0 ("resolve at New"): BatchSize
 		// follows Workers by contract, and pinning either here would
 		// change the search trajectory for callers that only set Workers.
-		Seed: 1,
+		Replicas:         1,
+		ExchangeInterval: DefaultExchangeInterval,
+		WarmTempFloor:    DefaultWarmTempFloor,
+		ConvergeWindows:  DefaultConvergeWindows,
+		Seed:             1,
 	}
 }
 
@@ -68,8 +72,18 @@ func (c Config) Validate() error {
 	if c.EnergyCacheSize < 0 {
 		return fmt.Errorf("core: config: EnergyCacheSize must be non-negative, got %d", c.EnergyCacheSize)
 	}
-	// MaxChurn and ProvisionCacheSize may be negative by contract: negative
-	// disables the churn bound / the provision cache (whose zero value means
-	// "default on", since it never changes results).
+	if c.Replicas < 0 {
+		return fmt.Errorf("core: config: Replicas must be non-negative (0 = single chain), got %d", c.Replicas)
+	}
+	if c.ExchangeInterval < 0 {
+		return fmt.Errorf("core: config: ExchangeInterval must be non-negative, got %d", c.ExchangeInterval)
+	}
+	if c.WarmTempFloor < 0 || c.WarmTempFloor > 1 {
+		return fmt.Errorf("core: config: WarmTempFloor must be in [0,1], got %v", c.WarmTempFloor)
+	}
+	// MaxChurn, ProvisionCacheSize and ConvergeWindows may be negative by
+	// contract: negative disables the churn bound / the provision cache /
+	// the early-exit convergence check (each zero value means "default",
+	// since defaults never weaken the paper's schedule).
 	return nil
 }

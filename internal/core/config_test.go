@@ -19,7 +19,9 @@ func TestDefaultConfigValidatesAndMatchesWithDefaults(t *testing.T) {
 	implicit := (Config{Net: net, Seed: 1}).withDefaults()
 	if cfg.Alpha != implicit.Alpha || cfg.EpsilonFrac != implicit.EpsilonFrac ||
 		cfg.MaxIterations != implicit.MaxIterations || cfg.InitTempFrac != implicit.InitTempFrac ||
-		cfg.NeighborMoves != implicit.NeighborMoves || cfg.MaxChurn != implicit.MaxChurn {
+		cfg.NeighborMoves != implicit.NeighborMoves || cfg.MaxChurn != implicit.MaxChurn ||
+		cfg.Replicas != implicit.Replicas || cfg.ExchangeInterval != implicit.ExchangeInterval ||
+		cfg.WarmTempFloor != implicit.WarmTempFloor || cfg.ConvergeWindows != implicit.ConvergeWindows {
 		t.Errorf("DefaultConfig drifted from withDefaults:\n explicit %+v\n implicit %+v", cfg, implicit)
 	}
 }
@@ -44,6 +46,10 @@ func TestValidateRejectsNonsense(t *testing.T) {
 		{"negative workers", func(c *Config) { c.Workers = -1 }, "Workers"},
 		{"negative batch", func(c *Config) { c.BatchSize = -1 }, "BatchSize"},
 		{"negative cache", func(c *Config) { c.EnergyCacheSize = -1 }, "EnergyCacheSize"},
+		{"negative replicas", func(c *Config) { c.Replicas = -1 }, "Replicas"},
+		{"negative exchange interval", func(c *Config) { c.ExchangeInterval = -2 }, "ExchangeInterval"},
+		{"warm floor negative", func(c *Config) { c.WarmTempFloor = -0.1 }, "WarmTempFloor"},
+		{"warm floor above 1", func(c *Config) { c.WarmTempFloor = 1.5 }, "WarmTempFloor"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -68,5 +74,13 @@ func TestValidateAllowsZeroDefaultsAndNegativeChurn(t *testing.T) {
 	cfg.MaxChurn = -1 // contract: negative disables the churn bound
 	if err := cfg.Validate(); err != nil {
 		t.Errorf("negative MaxChurn rejected: %v", err)
+	}
+	cfg.ConvergeWindows = -1 // contract: negative disables early exit
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("negative ConvergeWindows rejected: %v", err)
+	}
+	cfg.WarmTempFloor = 1 // boundary: floor 1 makes warm start inert, still legal
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("WarmTempFloor=1 rejected: %v", err)
 	}
 }

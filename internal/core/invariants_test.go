@@ -87,7 +87,7 @@ func TestSwapOnceRejectsDegenerate(t *testing.T) {
 			}
 		}
 		before := s.TotalCircuits()
-		out := o.swapOnce(s)
+		out := o.swapOnce(o.rng, s)
 		if out == nil {
 			continue
 		}

@@ -99,6 +99,43 @@ type Config struct {
 	// consumes the RNG draw-for-draw like ComputeNeighbor, and trusted delta
 	// energies equal cold energies exactly (see internal/optical/delta.go).
 	DeltaEval bool
+	// Replicas is the parallel-tempering replica count R: the search runs R
+	// annealing chains at a geometric temperature ladder (rung 0 coldest, at
+	// the normal schedule temperature) and periodically proposes neighbor-rung
+	// state exchanges under the Metropolis criterion on (ΔE, Δβ). Candidate
+	// energies of all rungs are evaluated together on the worker pool.
+	// 0 or 1 selects the single-chain search (today's behavior, exactly).
+	// Replicas is part of the search semantics: the result is a pure function
+	// of (Seed, BatchSize, Replicas), bit-identical at any Workers/GOMAXPROCS.
+	// With Replicas > 1 candidates are evaluated on the classic materialized
+	// path (DeltaEval applies to the single-chain search only).
+	Replicas int
+	// ExchangeInterval is how many candidate batches each replica runs
+	// between exchange attempts; the same interval paces the early-exit
+	// convergence check (warm-started and tempered searches only). 0 selects
+	// DefaultExchangeInterval.
+	ExchangeInterval int
+	// WarmStart seeds each slot's cooling schedule from the previous slot's
+	// accepted energy and final temperature instead of restarting the full
+	// InitTempFrac schedule: the starting temperature is scaled by the
+	// relative drift between this slot's initial energy and the previous
+	// slot's accepted energy (floored at WarmTempFloor × the cold T0, capped
+	// at the cold T0), and the stop temperature ε stays anchored to the cold
+	// schedule, so a low-drift slot runs a genuinely shorter schedule. A
+	// warm-started search also early-exits when the (coldest) chain's best
+	// energy stops improving. The first slot of a controller is always cold.
+	WarmStart bool
+	// WarmTempFloor floors the warm-started initial temperature as a
+	// fraction of the cold initial temperature, so a zero-drift slot still
+	// explores a little. 0 selects DefaultWarmTempFloor; must be ≤ 1
+	// (1 makes warm start inert).
+	WarmTempFloor float64
+	// ConvergeWindows is the early-exit patience for warm-started and
+	// tempered searches: after this many consecutive exchange windows whose
+	// best-energy improvement stays within EpsilonFrac (relative), the
+	// search stops and reports SearchStats.EarlyExit. 0 selects
+	// DefaultConvergeWindows; negative disables early exit.
+	ConvergeWindows int
 	// Seed makes the probabilistic search reproducible.
 	Seed int64
 }
@@ -115,6 +152,19 @@ const (
 	// Config.ProvisionCacheSize is 0. Entries are an effective-link
 	// enumeration each (a few KB on ISP100), so the default stays small.
 	DefaultProvisionCache = 128
+	// DefaultExchangeInterval is how many batches each tempering replica
+	// runs between exchange attempts (and between early-exit checks).
+	DefaultExchangeInterval = 4
+	// DefaultWarmTempFloor floors the warm-started initial temperature at
+	// this fraction of the cold one.
+	DefaultWarmTempFloor = 0.05
+	// DefaultConvergeWindows is the early-exit patience in exchange windows.
+	DefaultConvergeWindows = 3
+	// temperLadderStep is the geometric spacing of the tempering ladder:
+	// rung r runs at T × temperLadderStep^r. Wide enough that the hottest of
+	// a handful of rungs explores freely, close enough that neighbor-rung
+	// exchanges still accept.
+	temperLadderStep = 1.7
 )
 
 func (c Config) withDefaults() Config {
@@ -144,6 +194,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProvisionCacheSize == 0 {
 		c.ProvisionCacheSize = DefaultProvisionCache
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.ExchangeInterval < 1 {
+		c.ExchangeInterval = DefaultExchangeInterval
+	}
+	if c.WarmTempFloor == 0 {
+		c.WarmTempFloor = DefaultWarmTempFloor
+	}
+	if c.ConvergeWindows == 0 {
+		c.ConvergeWindows = DefaultConvergeWindows
 	}
 	return c
 }
@@ -183,6 +245,23 @@ type SearchStats struct {
 	// disabled.
 	ProvisionHits   int
 	ProvisionMisses int
+	// Replicas is the effective tempering replica count of this search
+	// (1 = single chain). With Replicas > 1, Iterations and Accepted sum
+	// over every replica's chain.
+	Replicas int
+	// ExchangeAttempts counts proposed neighbor-rung state exchanges;
+	// Exchanges counts the ones the Metropolis criterion accepted. Both stay
+	// zero for single-chain searches.
+	ExchangeAttempts int
+	Exchanges        int
+	// InitialTemp is the temperature the (coldest) cooling schedule actually
+	// started from; WarmStarted reports whether it was seeded from the
+	// previous slot instead of the cold InitTempFrac schedule.
+	InitialTemp float64
+	WarmStarted bool
+	// EarlyExit reports that the search stopped because the best energy
+	// converged (warm-started and tempered searches only).
+	EarlyExit bool
 }
 
 // NetworkState is the controller's output for one slot: the target
@@ -226,6 +305,18 @@ type Owan struct {
 	nbAcc    []pairDelta
 	nbPatch  []topology.Link
 	nbMerged []topology.Link
+	// Warm-start state: the previous slot's accepted (best) energy and the
+	// temperature its cooling schedule ended at. Recorded by every search
+	// (recording is inert), consumed only when Config.WarmStart is set.
+	// warmValid is false until the first search completes, so the first slot
+	// of any controller always runs the cold schedule.
+	warmE     float64
+	warmT     float64
+	warmValid bool
+	// slotSeq counts ComputeNetworkState invocations; tempering derives its
+	// per-replica and exchange RNG streams from (Seed, slotSeq, rung) so
+	// consecutive slots explore independently yet reproducibly.
+	slotSeq int64
 }
 
 // New creates a controller core for a network.
@@ -289,6 +380,9 @@ func (o *Owan) SetUnitRegenWeights(on bool) {
 	if o.provCache != nil {
 		o.provCache.clear()
 	}
+	// The recorded warm energy was measured under the old weights; a
+	// warm-started schedule seeded from it would under-explore.
+	o.warmValid = false
 }
 
 // WithoutFiber returns a new controller core whose physical network lacks
@@ -318,9 +412,16 @@ func (o *Owan) WithoutFiber(fiberID int) *Owan {
 // adds (u,p) and (v,q). Per-site port usage is unchanged. nil is returned
 // if the topology has too few circuits to rewire.
 func (o *Owan) ComputeNeighbor(s *topology.LinkSet) *topology.LinkSet {
+	return o.computeNeighbor(o.rng, s)
+}
+
+// computeNeighbor is ComputeNeighbor drawing from an explicit RNG, so every
+// tempering replica can run its own reproducible chain. The single-chain
+// search passes o.rng and is draw-for-draw the pre-tempering generator.
+func (o *Owan) computeNeighbor(rng *rand.Rand, s *topology.LinkSet) *topology.LinkSet {
 	out := s
 	for m := 0; m < o.cfg.NeighborMoves; m++ {
-		n := o.swapOnce(out)
+		n := o.swapOnce(rng, out)
 		if n == nil {
 			if m > 0 {
 				return out
@@ -332,19 +433,19 @@ func (o *Owan) ComputeNeighbor(s *topology.LinkSet) *topology.LinkSet {
 	return out
 }
 
-// swapOnce applies one elementary 2-circuit swap.
-func (o *Owan) swapOnce(s *topology.LinkSet) *topology.LinkSet {
+// swapOnce applies one elementary 2-circuit swap, drawing from rng.
+func (o *Owan) swapOnce(rng *rand.Rand, s *topology.LinkSet) *topology.LinkSet {
 	links := s.Links()
 	if len(links) == 0 || s.TotalCircuits() < 2 {
 		return nil
 	}
 	// Sample circuit instances weighted by multiplicity.
 	sample := func() (int, int) {
-		k := o.rng.Intn(s.TotalCircuits())
+		k := rng.Intn(s.TotalCircuits())
 		for _, l := range links {
 			if k < l.Count {
 				// Random orientation.
-				if o.rng.Intn(2) == 0 {
+				if rng.Intn(2) == 0 {
 					return l.U, l.V
 				}
 				return l.V, l.U
@@ -416,6 +517,7 @@ func canonEq(a, b, c, d int) bool {
 // classic serial annealing loop.
 func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer.Transfer, slot int, slotSeconds float64) *NetworkState {
 	start := time.Now()
+	o.slotSeq++
 	demands := o.demands(active, slot, slotSeconds)
 
 	// The evaluator is controller-lifetime state: created once, then re-armed
@@ -436,23 +538,95 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 
 	sCur := current.Clone()
 	eCur := ev.energyFull(&ev.ctx0, sCur)
-	sBest, eBest := sCur, eCur
-	stats := SearchStats{InitialEnergy: eCur}
+	stats := SearchStats{InitialEnergy: eCur, Replicas: o.cfg.Replicas}
 
-	T := eCur * o.cfg.InitTempFrac
-	if T <= 0 {
+	coldT0 := eCur * o.cfg.InitTempFrac
+	if coldT0 <= 0 {
 		// No throughput achievable from the current state (e.g. no demands
 		// yet): fall back to a nominal temperature so the loop still
 		// explores a little when demands exist.
-		T = 1
+		coldT0 = 1
 	}
-	epsilon := o.cfg.EpsilonFrac * T
+	// The stop temperature stays anchored to the cold schedule even when
+	// warm-starting: a warm schedule begins lower and therefore runs
+	// genuinely fewer cooling steps to the same ε.
+	epsilon := o.cfg.EpsilonFrac * coldT0
+	T, warmStarted := o.warmStartTemp(eCur, coldT0)
+	stats.InitialTemp = T
+	stats.WarmStarted = warmStarted
 	deadline := time.Time{}
 	if o.cfg.TimeBudget > 0 {
 		deadline = start.Add(o.cfg.TimeBudget)
 	}
 
-	T0 := T
+	var sBest *topology.LinkSet
+	var eBest, finalT float64
+	if o.cfg.Replicas > 1 {
+		sBest, eBest, finalT = o.temperedAnneal(ev, current, sCur, eCur, T, coldT0, epsilon, deadline, &stats)
+	} else {
+		sBest, eBest, finalT = o.classicAnneal(ev, current, sCur, eCur, T, coldT0, epsilon, deadline, &stats)
+	}
+	ev.finish(&stats)
+
+	plan := o.opt.ProvisionTopology(sBest)
+	eff := plan.Effective(sBest.N)
+	if o.provCache != nil {
+		// Seed the cross-slot cache with the returned topology's effective
+		// links: the next slot warm-starts from sBest, so its first (and most
+		// expensive) evaluation becomes a hit. plan.Effective is pinned
+		// identical to ProvisionEffective, so the entry equals what the cold
+		// path would have stored.
+		key := sBest.AppendKey(ev.ctx0.keyBuf[:0])
+		ev.ctx0.keyBuf = key
+		ev.ctx0.eff = eff.AppendLinks(ev.ctx0.eff[:0])
+		o.provCache.put(topology.KeyHash(key), key, eff.N, ev.ctx0.eff)
+	}
+	res := o.al.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
+	stats.BestEnergy = eBest
+	stats.Churn = current.Diff(sBest)
+	stats.Elapsed = time.Since(start)
+	// Record the warm-start state for the next slot (consumed only under
+	// Config.WarmStart; see warmStartTemp).
+	o.warmE, o.warmT, o.warmValid = eBest, finalT, true
+	return &NetworkState{
+		Topology:  sBest,
+		Plan:      plan,
+		Effective: eff,
+		Alloc:     res.Alloc,
+		Stats:     stats,
+	}
+}
+
+// warmStartTemp derives the slot's starting temperature. Cold slots (warm
+// start off, or nothing recorded yet) start at coldT0. A warm slot scales
+// coldT0 by the relative drift between this slot's initial energy and the
+// previous slot's accepted energy — similar demands need little reheating,
+// a demand shock re-runs most of the schedule — floored at WarmTempFloor
+// (so zero-drift slots still explore), never below the temperature the
+// previous schedule ended at, and capped at coldT0.
+func (o *Owan) warmStartTemp(eCur, coldT0 float64) (float64, bool) {
+	if !o.cfg.WarmStart || !o.warmValid || coldT0 <= 0 {
+		return coldT0, false
+	}
+	drift := math.Abs(eCur-o.warmE) / math.Max(math.Abs(o.warmE), 1e-9)
+	frac := math.Min(1, math.Max(o.cfg.WarmTempFloor, drift))
+	T := math.Max(coldT0*frac, o.warmT)
+	if T > coldT0 {
+		T = coldT0
+	}
+	return T, true
+}
+
+// classicAnneal is the single-chain annealing loop (Algorithm 1), batched
+// over the evaluator. It starts from (sCur, eCur) at temperature T and
+// returns the best state found, its energy, and the final temperature.
+// Candidate generation and acceptance share o.rng on this goroutine, so the
+// trajectory is the documented pure function of (Seed, BatchSize). On slots
+// that warm-started, the loop additionally checks convergence every
+// ExchangeInterval batches and stops early once the best energy stalls for
+// ConvergeWindows consecutive windows.
+func (o *Owan) classicAnneal(ev *evaluator, current, sCur *topology.LinkSet, eCur, T, T0, epsilon float64, deadline time.Time, stats *SearchStats) (*topology.LinkSet, float64, float64) {
+	sBest, eBest := sCur, eCur
 	useDelta := o.cfg.DeltaEval
 	cands := make([]*topology.LinkSet, 0, o.cfg.BatchSize)
 	needEval := make([]bool, 0, o.cfg.BatchSize)
@@ -477,6 +651,12 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 		movesBuf = make([][]swapMove, o.cfg.BatchSize)
 		mats = make([]*topology.LinkSet, o.cfg.BatchSize)
 	}
+	// Early-exit convergence windows, only on slots that actually
+	// warm-started: a cold slot (including every first slot, and every slot
+	// with WarmStart off) runs draw-for-draw the pre-tempering schedule.
+	earlyExit := stats.WarmStarted && o.cfg.ConvergeWindows > 0
+	batches, streak := 0, 0
+	windowBest := eBest
 	stop := false
 	for !stop && stats.Iterations < o.cfg.MaxIterations {
 		if T <= epsilon {
@@ -612,33 +792,21 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 		for i := 0; i < nCand; i++ {
 			mats[i] = nil
 		}
+		batches++
+		if earlyExit && batches%o.cfg.ExchangeInterval == 0 {
+			if eBest-windowBest <= o.cfg.EpsilonFrac*math.Max(math.Abs(eBest), 1e-9) {
+				streak++
+				if streak >= o.cfg.ConvergeWindows {
+					stats.EarlyExit = true
+					stop = true
+				}
+			} else {
+				streak = 0
+			}
+			windowBest = eBest
+		}
 	}
-	ev.finish(&stats)
-
-	plan := o.opt.ProvisionTopology(sBest)
-	eff := plan.Effective(sBest.N)
-	if o.provCache != nil {
-		// Seed the cross-slot cache with the returned topology's effective
-		// links: the next slot warm-starts from sBest, so its first (and most
-		// expensive) evaluation becomes a hit. plan.Effective is pinned
-		// identical to ProvisionEffective, so the entry equals what the cold
-		// path would have stored.
-		key := sBest.AppendKey(ev.ctx0.keyBuf[:0])
-		ev.ctx0.keyBuf = key
-		ev.ctx0.eff = eff.AppendLinks(ev.ctx0.eff[:0])
-		o.provCache.put(topology.KeyHash(key), key, eff.N, ev.ctx0.eff)
-	}
-	res := o.al.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
-	stats.BestEnergy = eBest
-	stats.Churn = current.Diff(sBest)
-	stats.Elapsed = time.Since(start)
-	return &NetworkState{
-		Topology:  sBest,
-		Plan:      plan,
-		Effective: eff,
-		Alloc:     res.Alloc,
-		Stats:     stats,
-	}
+	return sBest, eBest, T
 }
 
 // Reallocate provisions a given topology and computes the allocation on

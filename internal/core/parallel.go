@@ -374,8 +374,12 @@ func (ev *evaluator) ensureStarted() {
 	if ev.workers <= 1 || ev.running {
 		return
 	}
-	ev.jobs = make(chan evalJob, ev.o.cfg.BatchSize)
-	ev.results = make(chan evalResult, ev.o.cfg.BatchSize)
+	// runPending pushes a whole batch before draining any result, so the
+	// channels must hold the largest batch the search can submit: the
+	// tempered loop flattens all replicas' candidates into one call.
+	depth := ev.o.cfg.BatchSize * ev.o.cfg.Replicas
+	ev.jobs = make(chan evalJob, depth)
+	ev.results = make(chan evalResult, depth)
 	ev.done = make(chan struct{})
 	for _, ctx := range ev.wctxs {
 		go ev.worker(ctx.id, ctx)

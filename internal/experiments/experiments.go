@@ -71,6 +71,16 @@ type Scale struct {
 	// disables — see core.Config.ProvisionCacheSize). Like the energy
 	// cache it never changes a trajectory, only wall-clock.
 	OwanProvisionCache int
+	// OwanReplicas sets the parallel-tempering replica count (0 or 1 =
+	// single chain — see core.Config.Replicas). Part of the search
+	// semantics: the trajectory is a pure function of (seed, batch,
+	// replicas).
+	OwanReplicas int
+	// OwanWarmStart seeds each slot's cooling schedule from the previous
+	// slot's accepted energy and final temperature (see
+	// core.Config.WarmStart); warm-started slots may early-exit once the
+	// best energy converges.
+	OwanWarmStart bool
 	// FigWorkers bounds the number of simulation runs a figure generator
 	// executes concurrently (0 or 1 = serial). Figure output is
 	// bit-identical for any value: runs are independent simulations and
@@ -177,6 +187,8 @@ func Scheduler(name string, net *topology.Network, sc Scale, deadlines bool, see
 	owanCfg.EnergyCacheSize = sc.OwanEnergyCache
 	owanCfg.DeltaEval = sc.OwanDeltaEval
 	owanCfg.ProvisionCacheSize = sc.OwanProvisionCache
+	owanCfg.Replicas = sc.OwanReplicas
+	owanCfg.WarmStart = sc.OwanWarmStart
 	owanCfg.Seed = seed
 	if err := owanCfg.Validate(); err != nil {
 		return nil, err

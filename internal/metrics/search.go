@@ -1,5 +1,7 @@
 package metrics
 
+import "math"
+
 // SearchEfficiency summarizes the annealing engine's evaluation counters:
 // how much of the work the memoization cache absorbed and how evenly the
 // energy evaluations spread over the worker pool. internal/core reports the
@@ -34,6 +36,35 @@ func ComputeSearchEfficiency(cacheHits, cacheMisses int, workerEvals []int) Sear
 	if max > 0 {
 		mean := float64(sum) / float64(len(workerEvals))
 		eff.WorkerBalance = mean / float64(max)
+	}
+	return eff
+}
+
+// TemperingEfficiency summarizes a replica-exchange search: how often the
+// proposed neighbor-rung exchanges were accepted and how much of the
+// iteration budget the early exit saved.
+type TemperingEfficiency struct {
+	// ExchangeRate is accepted exchanges over attempts, in [0,1]; 0 when no
+	// exchange was attempted (single-chain searches). Healthy ladders sit
+	// well away from both ends: near 0 the rungs are too far apart to
+	// communicate, near 1 they are so close the ladder adds nothing.
+	ExchangeRate float64
+	// BudgetUsed is the fraction of the per-replica iteration budget the
+	// search actually ran, in [0,1]; below 1 only when the search stopped
+	// early (converged, schedule exhausted, or out of wall-clock budget).
+	BudgetUsed float64
+}
+
+// ComputeTemperingEfficiency derives the ratios from SearchStats counters:
+// exchange attempts/accepts, total iterations summed over all replicas, and
+// the configured per-replica cap.
+func ComputeTemperingEfficiency(attempts, exchanges, iterations, replicas, maxIterations int) TemperingEfficiency {
+	var eff TemperingEfficiency
+	if attempts > 0 {
+		eff.ExchangeRate = float64(exchanges) / float64(attempts)
+	}
+	if budget := replicas * maxIterations; budget > 0 {
+		eff.BudgetUsed = math.Min(1, float64(iterations)/float64(budget))
 	}
 	return eff
 }

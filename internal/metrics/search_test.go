@@ -28,3 +28,23 @@ func TestComputeSearchEfficiency(t *testing.T) {
 		}
 	}
 }
+
+func TestComputeTemperingEfficiency(t *testing.T) {
+	cases := []struct {
+		name                                string
+		attempts, exchanges, iters, r, maxI int
+		want                                TemperingEfficiency
+	}{
+		{"single-chain", 0, 0, 200, 1, 200, TemperingEfficiency{ExchangeRate: 0, BudgetUsed: 1}},
+		{"half-accepted", 10, 5, 400, 4, 100, TemperingEfficiency{ExchangeRate: 0.5, BudgetUsed: 1}},
+		{"early-exit", 8, 8, 120, 4, 100, TemperingEfficiency{ExchangeRate: 1, BudgetUsed: 0.3}},
+		{"empty", 0, 0, 0, 0, 0, TemperingEfficiency{}},
+		{"over-budget-clamped", 4, 1, 500, 2, 100, TemperingEfficiency{ExchangeRate: 0.25, BudgetUsed: 1}},
+	}
+	for _, c := range cases {
+		got := ComputeTemperingEfficiency(c.attempts, c.exchanges, c.iters, c.r, c.maxI)
+		if !almost(got.ExchangeRate, c.want.ExchangeRate) || !almost(got.BudgetUsed, c.want.BudgetUsed) {
+			t.Errorf("%s: got %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
