@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare bench-json bench-smoke temper faults check
+.PHONY: build vet test race bench bench-compare bench-json bench-smoke temper faults loadgen-smoke check
 
 build:
 	$(GO) build ./...
@@ -62,8 +62,17 @@ faults:
 			-run 'TestFaultInjectionEndToEnd' ./internal/controlplane/ || exit 1; \
 	done
 
+# loadgen-smoke drives a fixed-seed 1k-client fleet through the admission
+# pipeline over the in-memory transport and audits the store token by
+# token: -check exits nonzero (dumping server counters, fault stats, and
+# the latency summary) on any lost or duplicated submit or a p99 above
+# the bound. Small enough for CI; `owan-loadgen -clients 100000` is the
+# full-scale run behind results/loadgen.dat.
+loadgen-smoke:
+	$(GO) run ./cmd/owan-loadgen -clients 1000 -seed 1 -check -max-p99 20s -quiet
+
 # check is the tier-1 gate: clean build, vet, full tests, race-detected
 # internal tests (including the delta differential harnesses), the
-# tempering golden differential, a one-shot benchmark smoke, and the
-# seeded fault-injection matrix.
-check: build vet test race temper bench-smoke faults
+# tempering golden differential, a one-shot benchmark smoke, the seeded
+# fault-injection matrix, and the admission load-generator smoke.
+check: build vet test race temper bench-smoke faults loadgen-smoke

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +40,10 @@ func main() {
 		replicas  = flag.Int("replicas", 0, "parallel-tempering replica count (0 or 1 = single chain; part of the search semantics)")
 		warm      = flag.Bool("warmstart", false, "seed each slot's cooling schedule from the previous slot (shorter schedules on low-drift slots)")
 		heartbeat = flag.Duration("heartbeat", controlplane.DefaultReadTimeout, "declare a client dead after this much silence (clients ping every 10s by default)")
+		wtimeout  = flag.Duration("write-timeout", controlplane.DefaultWriteTimeout, "per-client write deadline for rate pushes; a slower client is dropped and marked for resync")
+		maxcli    = flag.Int("max-clients", 0, "registered-client cap; excess hellos get a typed overloaded error (0 = unlimited)")
+		shards    = flag.Int("shards", controlplane.DefaultShards, "admission-queue shards (submissions hash by owner site)")
+		qdepth    = flag.Int("queue-depth", controlplane.DefaultQueueDepth, "per-shard admission queue depth; a full queue answers overloaded with a retry-after hint")
 	)
 	flag.Parse()
 
@@ -66,11 +71,18 @@ func main() {
 	cfg.DeltaEval = *delta
 	cfg.Replicas = *replicas
 	cfg.WarmStart = *warm
-	ctrl, err := controlplane.NewController(cfg, slot.Seconds(), nil)
+	ctrl, err := controlplane.NewServer(context.Background(), nil,
+		controlplane.WithCoreConfig(cfg),
+		controlplane.WithSlotSeconds(slot.Seconds()),
+		controlplane.WithReadTimeout(*heartbeat),
+		controlplane.WithWriteTimeout(*wtimeout),
+		controlplane.WithMaxClients(*maxcli),
+		controlplane.WithShards(*shards),
+		controlplane.WithQueueDepth(*qdepth),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctrl.ReadTimeout = *heartbeat
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -22,9 +23,12 @@ import (
 
 func main() {
 	nw := topology.Internet2(8)
-	ctrl, err := controlplane.NewController(core.Config{
-		Net: nw, Policy: transfer.SJF, Seed: 7, MaxIterations: 300,
-	}, 2 /* 2 s slots for the demo */, nil)
+	ctrl, err := controlplane.NewServer(context.Background(), nil,
+		controlplane.WithCoreConfig(core.Config{
+			Net: nw, Policy: transfer.SJF, Seed: 7, MaxIterations: 300,
+		}),
+		controlplane.WithSlotSeconds(2), // 2 s slots for the demo
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -26,7 +26,10 @@ func main() {
 	cfg.Policy = transfer.SJF
 	cfg.Seed = 3
 	cfg.MaxIterations = 300
-	ctrl, err := controlplane.NewController(cfg, 10, st)
+	ctrl, err := controlplane.NewServer(context.Background(), st,
+		controlplane.WithCoreConfig(cfg),
+		controlplane.WithSlotSeconds(10),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +93,10 @@ func main() {
 	cfg2.Policy = transfer.SJF
 	cfg2.Seed = 4
 	cfg2.MaxIterations = 300
-	ctrl2, err := controlplane.NewController(cfg2, 10, replica)
+	ctrl2, err := controlplane.NewServer(context.Background(), replica,
+		controlplane.WithCoreConfig(cfg2),
+		controlplane.WithSlotSeconds(10),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

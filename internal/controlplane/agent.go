@@ -58,7 +58,7 @@ func NewAgent(ctrlAddr string, site int, dataLis net.Listener, peers map[int]str
 		ctx:          ctx,
 		cancel:       cancel,
 	}
-	cl, err := Dial(ctx, ctrlAddr, WithSite(site), WithOnRates(a.onRates))
+	cl, err := Dial(ctx, ctrlAddr, WithSite(site), WithOnRates(a.onRates), WithOnResync(a.onResync))
 	if err != nil {
 		cancel()
 		a.recv.Close()
@@ -85,6 +85,31 @@ func (a *Agent) onRates(rates []WireRate) {
 		// Transfers with no allocation this slot pause.
 		gbps := perTransfer[id]
 		s.lim.SetRate(gbps * a.BytesPerGbit)
+	}
+}
+
+// onResync reconciles local streams against the controller's durable
+// snapshot after a (re)connect. A transfer the controller has already
+// marked done but whose local stream is still throttled gets its valve
+// opened wide so the tail drains — the controller stops pushing rates
+// for finished transfers, which would otherwise strand the last bytes
+// at the pre-failover rate.
+func (a *Agent) onResync(snap *WireSnapshot) {
+	state := map[int]SnapshotTransfer{}
+	for _, t := range snap.Pending {
+		state[t.ID] = t
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for id, s := range a.streams {
+		select {
+		case <-s.done:
+			continue
+		default:
+		}
+		if t, ok := state[id]; !ok || t.Done {
+			s.lim.SetRate(1e12)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -17,9 +18,12 @@ func TestAgentEndToEnd(t *testing.T) {
 	// Short 2 s slots: the wire time of a demand-capped stream equals the
 	// slot length, so this keeps the test fast.
 	net9 := topology.Internet2(8)
-	ctrl, err := NewController(core.Config{
-		Net: net9, Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
-	}, 2, nil)
+	ctrl, err := NewServer(context.Background(), nil,
+		WithCoreConfig(core.Config{
+			Net: net9, Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
+		}),
+		WithSlotSeconds(2),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

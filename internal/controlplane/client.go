@@ -45,17 +45,22 @@ type Client struct {
 	tokenPrefix string
 	tokenSeq    uint64
 
-	// rng drives backoff jitter. It is only touched from Dial (before the
-	// manager starts) and then the single manager goroutine.
-	rng *mrand.Rand
+	// rng drives backoff and retry-after jitter; rngMu serializes it
+	// between the manager goroutine and RPC callers backing off after an
+	// overloaded rejection.
+	rngMu sync.Mutex
+	rng   *mrand.Rand
 
-	disconnects int // guarded by mu; observable via Disconnects
+	disconnects int           // guarded by mu; observable via Disconnects
+	overloads   int           // guarded by mu; observable via Overloads
+	lastSnap    *WireSnapshot // guarded by mu; most recent resync snapshot
 }
 
 // liveConn is one TCP connection's lifetime: its write lock, reply
 // channel, and failure latch.
 type liveConn struct {
 	conn net.Conn
+	ver  int // negotiated protocol version (welcome reply)
 
 	wmu sync.Mutex // serializes writes (RPCs vs heartbeats)
 
@@ -197,13 +202,46 @@ func (c *Client) connect(ctx context.Context) (*liveConn, error) {
 	case MsgWelcome:
 	case MsgError:
 		conn.Close()
-		return nil, &ServerError{Code: m.Code, Msg: m.Err}
+		return nil, newServerError(m)
 	default:
 		conn.Close()
 		return nil, fmt.Errorf("controlplane: unexpected handshake reply %q", m.Type)
 	}
+	ver := m.Version
+	if ver <= 0 {
+		ver = 1 // a pre-negotiation controller omits the version field
+	}
+	// Snapshot resync (v2): replay our pending-transfer state in the same
+	// round-trip budget as the handshake, so a reconnect (or a failover to
+	// a promoted standby) converges without resubmitting anything. The
+	// handshake deadline still covers this exchange.
+	if ver >= 2 {
+		if err := WriteMsg(conn, &Message{Type: MsgResync, Seq: c.nextSeq(), Site: c.o.site}); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("controlplane: resync: %w", err)
+		}
+		sm, err := ReadMsg(conn)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("controlplane: resync reply: %w", err)
+		}
+		if sm.Type != MsgSnapshot {
+			conn.Close()
+			if sm.Type == MsgError {
+				return nil, newServerError(sm)
+			}
+			return nil, fmt.Errorf("controlplane: unexpected resync reply %q", sm.Type)
+		}
+		c.mu.Lock()
+		c.lastSnap = sm.Snapshot
+		c.mu.Unlock()
+		if c.o.onResync != nil && sm.Snapshot != nil {
+			c.o.onResync(sm.Snapshot)
+		}
+	}
 	conn.SetDeadline(time.Time{})
 	lc := newLiveConn(conn)
+	lc.ver = ver
 	c.wg.Add(1)
 	go c.readLoop(lc)
 	if c.o.heartbeat > 0 {
@@ -211,6 +249,16 @@ func (c *Client) connect(ctx context.Context) (*liveConn, error) {
 		go c.heartbeatLoop(lc)
 	}
 	return lc, nil
+}
+
+// newServerError converts a MsgError into the typed client-side error,
+// carrying the controller's retry-after hint when present.
+func newServerError(m *Message) *ServerError {
+	return &ServerError{
+		Code:       m.Code,
+		Msg:        m.Err,
+		RetryAfter: time.Duration(m.RetryAfterMs) * time.Millisecond,
+	}
 }
 
 // isTerminal reports whether an error means reconnecting can never help.
@@ -246,7 +294,7 @@ func (c *Client) readLoop(lc *liveConn) {
 			// The controller may probe us; answer so its read deadline
 			// sees a live client.
 			lc.send(&Message{Type: MsgPong, Seq: m.Seq}, time.Now().Add(5*time.Second))
-		case MsgSubmitAck, MsgStatusReply, MsgAck, MsgError:
+		case MsgSubmitAck, MsgStatusReply, MsgAck, MsgError, MsgSnapshot:
 			select {
 			case lc.replies <- m:
 			default: // no RPC waiting; stale reply
@@ -341,7 +389,25 @@ func (c *Client) backoff(attempt int) time.Duration {
 		d = c.o.backoffMax
 	}
 	half := d / 2
-	return half + time.Duration(c.rng.Int63n(int64(d)+1))
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.rngMu.Unlock()
+	return half + j
+}
+
+// overloadDelay turns a controller backpressure rejection into the wait
+// before the retry: at least the server's retry-after hint (or the
+// backoff base when the hint is missing), plus up to 50% jitter so a
+// fleet of shed clients does not return in one synchronized wave.
+func (c *Client) overloadDelay(se *ServerError) time.Duration {
+	d := se.RetryAfter
+	if d <= 0 {
+		d = c.o.backoffBase
+	}
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.rngMu.Unlock()
+	return d + j
 }
 
 func (c *Client) setCur(lc *liveConn) {
@@ -391,6 +457,22 @@ func (c *Client) Disconnects() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.disconnects
+}
+
+// Overloads reports how many times an RPC was shed by controller
+// backpressure (and retried after the retry-after hint).
+func (c *Client) Overloads() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overloads
+}
+
+// LastSnapshot returns the most recent resync snapshot (nil before the
+// first v2 connect).
+func (c *Client) LastSnapshot() *WireSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSnap
 }
 
 func (c *Client) nextSeq() uint64 {
@@ -463,6 +545,7 @@ func (c *Client) rpc(ctx context.Context, req *Message, want MsgType) (*Message,
 			return nil, err
 		}
 		last = lc
+	send:
 		if err := lc.send(req, wdl); err != nil {
 			continue // connection died; waitConn blocks until reconnect
 		}
@@ -474,7 +557,25 @@ func (c *Client) rpc(ctx context.Context, req *Message, want MsgType) (*Message,
 					continue recv // stale reply from an earlier attempt
 				}
 				if m.Type == MsgError {
-					return nil, &ServerError{Code: m.Code, Msg: m.Err}
+					se := newServerError(m)
+					if se.Code == ErrCodeOverloaded {
+						// Backpressure: honor the controller's retry-after
+						// hint (with jitter), then resend on the same
+						// connection — idempotency tokens make the resend
+						// safe even if it raced a commit.
+						c.mu.Lock()
+						c.overloads++
+						c.mu.Unlock()
+						select {
+						case <-time.After(c.overloadDelay(se)):
+							goto send
+						case <-ctx.Done():
+							return nil, ctx.Err()
+						case <-c.closeCh:
+							return nil, fmt.Errorf("controlplane: client closed")
+						}
+					}
+					return nil, se
 				}
 				if m.Type != want {
 					return nil, fmt.Errorf("controlplane: unexpected reply %q to %q", m.Type, req.Type)
@@ -501,6 +602,21 @@ func (c *Client) Submit(ctx context.Context, r WireRequest) (int, error) {
 		return 0, err
 	}
 	return m.ID, nil
+}
+
+// Resync asks the controller to replay this site's pending-transfer state
+// from its replicated store (protocol v2). The client also resyncs
+// automatically inside every reconnect handshake; this explicit form is
+// for callers that want a fresh snapshot on demand.
+func (c *Client) Resync(ctx context.Context) (*WireSnapshot, error) {
+	m, err := c.rpc(ctx, &Message{Type: MsgResync, Site: c.o.site}, MsgSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.lastSnap = m.Snapshot
+	c.mu.Unlock()
+	return m.Snapshot, nil
 }
 
 // Status queries controller status.

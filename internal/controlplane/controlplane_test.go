@@ -59,9 +59,12 @@ func TestFramingMultipleMessages(t *testing.T) {
 func newTestController(t *testing.T, st *store.Store) (*Controller, string) {
 	t.Helper()
 	net9 := topology.Internet2(8)
-	ctrl, err := NewController(core.Config{
-		Net: net9, Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
-	}, 10, st)
+	ctrl, err := NewServer(context.Background(), st,
+		WithCoreConfig(core.Config{
+			Net: net9, Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
+		}),
+		WithSlotSeconds(10),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,9 +190,12 @@ func TestControllerFailover(t *testing.T) {
 	if err := store.Sync(st, replica); err != nil {
 		t.Fatal(err)
 	}
-	ctrl2, err := NewController(core.Config{
-		Net: topology.Internet2(8), Policy: transfer.SJF, Seed: 2, MaxIterations: 60,
-	}, 10, replica)
+	ctrl2, err := NewServer(context.Background(), replica,
+		WithCoreConfig(core.Config{
+			Net: topology.Internet2(8), Policy: transfer.SJF, Seed: 2, MaxIterations: 60,
+		}),
+		WithSlotSeconds(10),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,9 +24,12 @@ func promote(t *testing.T, st *store.Store, seed int64) *Controller {
 	if err := store.Sync(st, replica); err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := NewController(core.Config{
-		Net: topology.Internet2(8), Policy: transfer.SJF, Seed: seed, MaxIterations: 60,
-	}, 10, replica)
+	ctrl, err := NewServer(context.Background(), replica,
+		WithCoreConfig(core.Config{
+			Net: topology.Internet2(8), Policy: transfer.SJF, Seed: seed, MaxIterations: 60,
+		}),
+		WithSlotSeconds(10),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,9 +141,12 @@ func TestSubmitTokenIdempotentAcrossFailover(t *testing.T) {
 func TestReconnectReadoption(t *testing.T) {
 	st := store.New()
 	net9 := topology.Internet2(8)
-	ctrl, err := NewController(core.Config{
-		Net: net9, Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
-	}, 10, st)
+	ctrl, err := NewServer(context.Background(), st,
+		WithCoreConfig(core.Config{
+			Net: net9, Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
+		}),
+		WithSlotSeconds(10),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +291,9 @@ func TestDecodeErrorSurfacedOnce(t *testing.T) {
 		if _, err := ReadMsg(conn); err != nil { // hello
 			return
 		}
-		WriteMsg(conn, &Message{Type: MsgWelcome, Version: ProtoVersion})
+		// Speak v1: this fake doesn't implement the v2 resync exchange,
+		// and the garbage must reach the read loop, not the handshake.
+		WriteMsg(conn, &Message{Type: MsgWelcome, Version: 1})
 		// A well-framed, checksum-valid but undecodable payload.
 		body := []byte("junk")
 		hdr := make([]byte, 8)
@@ -348,7 +356,9 @@ func TestHeartbeatDetectsDeadController(t *testing.T) {
 		if _, err := ReadMsg(conn); err != nil {
 			return
 		}
-		WriteMsg(conn, &Message{Type: MsgWelcome, Version: ProtoVersion})
+		// Speak v1 so the client skips the v2 resync exchange this fake
+		// doesn't implement.
+		WriteMsg(conn, &Message{Type: MsgWelcome, Version: 1})
 		// Go silent: never answer pings, never close. Only a heartbeat
 		// timeout can notice this.
 		select {}
@@ -383,13 +393,16 @@ func TestHeartbeatDetectsDeadController(t *testing.T) {
 // TestServerDetectsDeadClient: the controller's read deadline reaps a
 // client that goes silent (no requests, no pings).
 func TestServerDetectsDeadClient(t *testing.T) {
-	ctrl, err := NewController(core.Config{
-		Net: topology.Internet2(8), Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
-	}, 10, nil)
+	ctrl, err := NewServer(context.Background(), nil,
+		WithCoreConfig(core.Config{
+			Net: topology.Internet2(8), Policy: transfer.SJF, Seed: 1, MaxIterations: 60,
+		}),
+		WithSlotSeconds(10),
+		WithReadTimeout(80*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl.ReadTimeout = 80 * time.Millisecond // must be set before Serve
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

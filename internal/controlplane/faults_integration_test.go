@@ -50,14 +50,18 @@ func TestFaultInjectionEndToEnd(t *testing.T) {
 
 func runFaultScenario(t *testing.T, seed int64) {
 	newCtrl := func(st *store.Store) *Controller {
-		ctrl, err := NewController(core.Config{
-			Net: topology.Internet2(8), Policy: transfer.SJF, Seed: seed, MaxIterations: 40,
-		}, 10, st)
+		ctrl, err := NewServer(context.Background(),
+			st,
+			WithCoreConfig(core.Config{
+				Net: topology.Internet2(8), Policy: transfer.SJF, Seed: seed, MaxIterations: 40,
+			}),
+			WithSlotSeconds(10),
+			WithReadTimeout(300*time.Millisecond),
+			WithWriteTimeout(300*time.Millisecond),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ctrl.ReadTimeout = 300 * time.Millisecond
-		ctrl.WriteTimeout = 300 * time.Millisecond
 		return ctrl
 	}
 	st1 := store.New()

@@ -23,6 +23,7 @@ type options struct {
 	site         int
 	onRates      func([]WireRate)
 	onDisconnect func(error)
+	onResync     func(*WireSnapshot)
 	heartbeat    time.Duration
 	backoffBase  time.Duration
 	backoffMax   time.Duration
@@ -63,6 +64,16 @@ func WithOnRates(f func([]WireRate)) Option {
 // for logging and metrics, not recovery.
 func WithOnDisconnect(f func(error)) Option {
 	return func(o *options) { o.onDisconnect = f }
+}
+
+// WithOnResync registers the callback invoked with the snapshot the
+// controller replays on every (re)connect handshake (protocol v2): the
+// site's pending transfers, their remaining sizes, and their idempotency
+// tokens. A reconnecting or failed-over client rebuilds its local view
+// from this in one round trip instead of resubmitting. Runs on the
+// dialing goroutine before the connection goes live; keep it short.
+func WithOnResync(f func(*WireSnapshot)) Option {
+	return func(o *options) { o.onResync = f }
 }
 
 // WithHeartbeatInterval sets how often the client pings the controller.

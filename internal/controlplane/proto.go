@@ -20,15 +20,26 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 )
 
 // ProtoVersion is the wire-protocol version this build speaks. The client
-// advertises it in MsgHello; the controller rejects mismatches with a
-// typed ErrCodeVersionMismatch error instead of silently misbehaving.
+// advertises it in MsgHello; the controller negotiates down to
+// min(client, controller) as long as the client speaks at least
+// MinProtoVersion, and rejects anything older with a typed
+// ErrCodeVersionMismatch error instead of silently misbehaving.
+//
 // Version 1 added the hello/welcome handshake, heartbeats, request
 // sequence numbers, and idempotent submit tokens; version 0 is the
 // original unversioned protocol (a hello without a version field).
-const ProtoVersion = 1
+// Version 2 added snapshot resync (MsgResync/MsgSnapshot) and admission
+// backpressure (ErrCodeOverloaded with a retry-after hint).
+const ProtoVersion = 2
+
+// MinProtoVersion is the oldest client version the controller still
+// serves. Version-1 clients interoperate (they simply never ask for a
+// resync snapshot); version 0 is rejected.
+const MinProtoVersion = 1
 
 // MsgType discriminates protocol messages.
 type MsgType string
@@ -67,6 +78,14 @@ const (
 	MsgAck MsgType = "ack"
 	// MsgError reports a request-level failure with a typed Code.
 	MsgError MsgType = "error"
+	// MsgResync (v2) asks the controller to replay the client's
+	// pending-transfer state; the reply is one MsgSnapshot. A reconnecting
+	// or failed-over client converges in a single round trip instead of
+	// resubmitting everything it remembers.
+	MsgResync MsgType = "resync"
+	// MsgSnapshot (v2) carries the durable pending-transfer state for the
+	// requesting site, read from the controller's replicated store.
+	MsgSnapshot MsgType = "snapshot"
 )
 
 // ErrCode classifies request-level failures so clients can distinguish
@@ -88,12 +107,20 @@ const (
 	ErrCodeUnknownFiber ErrCode = "unknown-fiber"
 	// ErrCodeInternal: the controller failed to process a valid request.
 	ErrCodeInternal ErrCode = "internal"
+	// ErrCodeOverloaded (v2): the controller's admission queue for this
+	// client's shard is full (or the client cap is reached). Transient —
+	// the error carries a retry-after hint in RetryAfterMs; clients back
+	// off at least that long and retry under the same idempotency token.
+	ErrCodeOverloaded ErrCode = "overloaded"
 )
 
 // ServerError is a typed request-level failure returned by client RPCs.
 type ServerError struct {
 	Code ErrCode
 	Msg  string
+	// RetryAfter is the controller's backpressure hint (overloaded only):
+	// wait at least this long before retrying.
+	RetryAfter time.Duration
 }
 
 func (e *ServerError) Error() string {
@@ -130,6 +157,32 @@ type WireStatus struct {
 	Circuits  int `json:"circuits"`
 }
 
+// SnapshotTransfer is one pending transfer in a resync snapshot: enough
+// state for the owning client to rebuild its local view (which transfers
+// are in flight, how much remains, and which idempotency token maps to
+// which id) without resubmitting anything.
+type SnapshotTransfer struct {
+	ID             int     `json:"id"`
+	Token          string  `json:"token,omitempty"`
+	Src            int     `json:"src"`
+	Dst            int     `json:"dst"`
+	SizeGbits      float64 `json:"size_gbits"`
+	RemainingGbits float64 `json:"remaining_gbits"`
+	Done           bool    `json:"done,omitempty"`
+}
+
+// WireSnapshot is the MsgSnapshot body: the controller's durable view of
+// one site's transfers, replayed from the replicated store.
+type WireSnapshot struct {
+	Slot int `json:"slot"`
+	// Pending lists the site's not-yet-finished transfers in id order.
+	Pending []SnapshotTransfer `json:"pending,omitempty"`
+	// Truncated is set when the pending set was cut to fit the frame
+	// limit; the client may resync again for the remainder once the
+	// earlier entries finish.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
 // Message is the protocol envelope. Exactly the fields relevant to Type
 // are populated.
 type Message struct {
@@ -148,6 +201,12 @@ type Message struct {
 	Status  *WireStatus  `json:"status,omitempty"`
 	Code    ErrCode      `json:"code,omitempty"`
 	Err     string       `json:"err,omitempty"`
+	// RetryAfterMs is the backpressure hint accompanying an overloaded
+	// error: the client should wait at least this many milliseconds
+	// before retrying.
+	RetryAfterMs int `json:"retry_after_ms,omitempty"`
+	// Snapshot is the MsgSnapshot body (v2 resync).
+	Snapshot *WireSnapshot `json:"snapshot,omitempty"`
 }
 
 // maxFrame bounds a frame to keep a malformed or malicious peer from

@@ -1,11 +1,14 @@
 package controlplane
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"owan/internal/core"
@@ -24,23 +27,33 @@ const (
 	DefaultWriteTimeout = 10 * time.Second
 )
 
+// admitBatchMax bounds how many queued submissions one shard worker
+// admits under a single lock acquisition. Batching amortizes the
+// controller lock and store writes across a burst without letting one
+// shard monopolize the lock.
+const admitBatchMax = 256
+
+// snapMaxEntries bounds a resync snapshot so it always fits the 1 MiB
+// frame limit; a snapshot that had to cut entries says so (Truncated).
+const snapMaxEntries = 4096
+
 // Controller is the centralized Owan controller: it accepts client
-// connections, collects transfer requests, computes the network state each
-// slot, and pushes rate allocations back to the clients that submitted the
-// transfers. All durable state (requests, progress) lives in a store.Store
-// so a replacement controller can take over (§3.4).
+// connections, collects transfer requests through sharded bounded
+// admission queues, computes the network state each slot, and pushes rate
+// allocations back per shard to the clients that submitted the transfers.
+// All durable state (requests, progress) lives in a store.Store so a
+// replacement controller can take over (§3.4); reconnecting clients
+// converge via a one-round-trip snapshot resync instead of resubmission.
 type Controller struct {
 	Net         *topology.Network
 	SlotSeconds float64
-	// ReadTimeout is the dead-client detector: a connection with no
-	// inbound frame (requests or heartbeat pings both count) for this
-	// long is closed. NewController fills in DefaultReadTimeout;
-	// overwrite before Serve, ≤0 disables.
-	ReadTimeout time.Duration
-	// WriteTimeout bounds every outbound frame so one partitioned client
-	// with a full TCP buffer can never stall the slot loop. NewController
-	// fills in DefaultWriteTimeout; overwrite before Serve, ≤0 disables.
-	WriteTimeout time.Duration
+
+	readTO     time.Duration
+	writeTO    time.Duration
+	clock      Clock
+	maxClients int
+	retryAfter time.Duration // backpressure hint handed to shed clients
+	admitGate  chan struct{} // test-only stall for shard workers
 
 	mu        sync.Mutex
 	owan      *core.Owan
@@ -51,26 +64,103 @@ type Controller struct {
 	tokens    map[string]int      // idempotency token -> transfer id
 	tokenByID map[int]string      // reverse of tokens, for persistence
 	failed    map[int]bool        // fiber ids already failed (idempotent reports)
-	nextID    int
-	slot      int
-	completed int
-	st        *store.Store
-	coreCfg   core.Config
+	// resyncNeeded marks sites whose rate push was dropped (write timeout
+	// or dead connection): the next snapshot resync from that site clears
+	// the mark. Purely observational — pushes resume at the next tick once
+	// the site reconnects.
+	resyncNeeded map[int]bool
+	nRegistered  int
+	nextID       int
+	slot         int
+	completed    int
+	st           *store.Store
+	coreCfg      core.Config
 	// Cross-layer update scheduling (§3.3): the previous slot's realized
 	// state, and stats from the most recent consistent rollout.
 	opt        *optical.State
 	prevUpdate *update.State
 	lastPlan   UpdatePlanStats
 
+	shards []*admitShard
+
 	lis     net.Listener
 	conns   map[*clientConn]bool
 	closing bool
+	done    chan struct{}
 	wg      sync.WaitGroup
+
+	ctr serverCounters
+}
+
+// admitShard is one bounded admission queue plus its worker (started in
+// newController, stopped by Close).
+type admitShard struct {
+	jobs chan admitJob
+}
+
+// admitJob is one queued submission awaiting batch admission.
+type admitJob struct {
+	cc    *clientConn
+	seq   uint64
+	req   WireRequest
+	token string
+}
+
+// serverCounters is the internal atomic form of ServerCounters.
+type serverCounters struct {
+	admitted       atomic.Uint64
+	admitBatches   atomic.Uint64
+	overloads      atomic.Uint64
+	refusedClients atomic.Uint64
+	ratePushes     atomic.Uint64
+	pushShards     atomic.Uint64
+	pushFailures   atomic.Uint64
+	resyncs        atomic.Uint64
+}
+
+// ServerCounters is a snapshot of the controller's admission/push
+// counters (the quantities the load generator asserts on).
+type ServerCounters struct {
+	// Admitted counts transfers committed through the admission pipeline;
+	// AdmitBatches counts lock acquisitions that committed them, so
+	// Admitted/AdmitBatches is the realized batching factor.
+	Admitted     uint64
+	AdmitBatches uint64
+	// Overloads counts submissions shed with ErrCodeOverloaded because a
+	// shard queue was full; RefusedClients counts hellos shed because the
+	// WithMaxClients cap was reached.
+	Overloads      uint64
+	RefusedClients uint64
+	// RatePushes counts per-client rate messages delivered; PushShards
+	// counts shard push groups flushed; PushFailures counts pushes dropped
+	// on a write timeout or dead connection (the site is then marked for
+	// resync).
+	RatePushes   uint64
+	PushShards   uint64
+	PushFailures uint64
+	// Resyncs counts snapshot resyncs served.
+	Resyncs uint64
+}
+
+// Counters returns a snapshot of the admission/push counters.
+func (c *Controller) Counters() ServerCounters {
+	return ServerCounters{
+		Admitted:       c.ctr.admitted.Load(),
+		AdmitBatches:   c.ctr.admitBatches.Load(),
+		Overloads:      c.ctr.overloads.Load(),
+		RefusedClients: c.ctr.refusedClients.Load(),
+		RatePushes:     c.ctr.ratePushes.Load(),
+		PushShards:     c.ctr.pushShards.Load(),
+		PushFailures:   c.ctr.pushFailures.Load(),
+		Resyncs:        c.ctr.resyncs.Load(),
+	}
 }
 
 type clientConn struct {
 	c          net.Conn
+	clk        Clock
 	site       int  // valid once registered
+	ver        int  // negotiated protocol version, valid once registered
 	registered bool // hello handshake completed; both guarded by Controller.mu
 	wt         time.Duration
 	mu         sync.Mutex // serializes writes
@@ -80,7 +170,7 @@ func (cc *clientConn) send(m *Message) error {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if cc.wt > 0 {
-		cc.c.SetWriteDeadline(time.Now().Add(cc.wt))
+		cc.c.SetWriteDeadline(cc.clk.Now().Add(cc.wt))
 	}
 	if err := WriteMsg(cc.c, m); err != nil {
 		// A write failure (dead or partitioned client) poisons the
@@ -91,41 +181,81 @@ func (cc *clientConn) send(m *Message) error {
 	return nil
 }
 
-// NewController builds a controller for the network. The store may come
-// from a previous (failed) controller instance, in which case outstanding
-// transfers (and their submit tokens and ownership) are recovered from it.
+// NewController builds a controller for the network.
+//
+// Deprecated: use NewServer with WithCoreConfig and WithSlotSeconds — the
+// options constructor exposes the admission, liveness, and clock knobs.
 func NewController(cfg core.Config, slotSeconds float64, st *store.Store) (*Controller, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("controlplane: %w", err)
-	}
-	if slotSeconds <= 0 {
-		return nil, fmt.Errorf("controlplane: slotSeconds must be positive (got %v)", slotSeconds)
-	}
+	return NewServer(context.Background(), st,
+		WithCoreConfig(cfg), WithSlotSeconds(slotSeconds))
+}
+
+// newController is the shared constructor behind NewServer. The store may
+// come from a previous (failed) controller instance, in which case
+// outstanding transfers (and their submit tokens and ownership) are
+// recovered from it.
+func newController(ctx context.Context, st *store.Store, o serverOptions) (*Controller, error) {
 	if st == nil {
 		st = store.New()
 	}
 	c := &Controller{
-		Net:          cfg.Net,
-		SlotSeconds:  slotSeconds,
-		ReadTimeout:  DefaultReadTimeout,
-		WriteTimeout: DefaultWriteTimeout,
-		owan:         core.New(cfg),
-		topo:         topology.InitialTopology(cfg.Net),
+		Net:          o.cfg.Net,
+		SlotSeconds:  o.slotSeconds,
+		readTO:       o.readTO,
+		writeTO:      o.writeTO,
+		clock:        o.clock,
+		maxClients:   o.maxClients,
+		admitGate:    o.admitGate,
+		owan:         core.New(o.cfg),
+		topo:         topology.InitialTopology(o.cfg.Net),
 		transfers:    map[int]*transfer.Transfer{},
 		owners:       map[int]int{},
 		sites:        map[int]*clientConn{},
 		tokens:       map[string]int{},
 		tokenByID:    map[int]string{},
 		failed:       map[int]bool{},
+		resyncNeeded: map[int]bool{},
 		conns:        map[*clientConn]bool{},
+		done:         make(chan struct{}),
 		st:           st,
-		coreCfg:      cfg,
+		coreCfg:      o.cfg,
 	}
-	c.opt = optical.NewState(cfg.Net)
+	// The hint scales with queue depth: a deeper queue takes longer to
+	// drain, so shed clients should stay away longer.
+	c.retryAfter = 10*time.Millisecond + time.Duration(o.queueDepth/16)*time.Millisecond
+	if c.retryAfter > time.Second {
+		c.retryAfter = time.Second
+	}
+	c.opt = optical.NewState(o.cfg.Net)
 	if err := c.recover(); err != nil {
 		return nil, err
 	}
+	c.shards = make([]*admitShard, o.shards)
+	for i := range c.shards {
+		c.shards[i] = &admitShard{jobs: make(chan admitJob, o.queueDepth)}
+		c.wg.Add(1)
+		go c.admitLoop(c.shards[i])
+	}
+	if ctx != nil && ctx.Done() != nil {
+		// Lifetime watcher: context cancellation closes the server. Not in
+		// the WaitGroup — it calls Close itself, which waits on the group.
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.Close()
+			case <-c.done:
+			}
+		}()
+	}
 	return c, nil
+}
+
+// shardFor maps an owning site onto its admission/push shard.
+func (c *Controller) shardFor(site int) int {
+	if site < 0 {
+		site = -site
+	}
+	return site % len(c.shards)
 }
 
 // UpdatePlanStats summarizes the consistent update computed for a slot
@@ -210,9 +340,42 @@ type persistedTransfer struct {
 	Token     string           `json:"token,omitempty"`
 }
 
-func tKey(id int) string { return fmt.Sprintf("transfer/%08d", id) }
+// TransferRecord is the decoded durable form of one transfer record, for
+// tools that audit the store directly (the load generator cross-checks
+// every client-side ack against these records).
+type TransferRecord struct {
+	ID             int
+	Site           int
+	Token          string
+	Done           bool
+	SizeGbits      float64
+	RemainingGbits float64
+}
 
-func (c *Controller) persist(t *transfer.Transfer) {
+// DecodeTransferRecord decodes a store value written under a
+// "transfer/" key.
+func DecodeTransferRecord(b []byte) (TransferRecord, error) {
+	var p persistedTransfer
+	if err := json.Unmarshal(b, &p); err != nil {
+		return TransferRecord{}, fmt.Errorf("controlplane: corrupt transfer record: %w", err)
+	}
+	return TransferRecord{
+		ID: p.Req.ID, Site: p.Site, Token: p.Token, Done: p.Done,
+		SizeGbits: p.Req.SizeGbits, RemainingGbits: p.Remaining,
+	}, nil
+}
+
+// tKey keys a transfer record under its owning site, so a snapshot resync
+// for one site is a single prefix scan of the store instead of a walk
+// over every transfer ever admitted.
+func tKey(site, id int) string { return fmt.Sprintf("transfer/s%d/%08d", site, id) }
+
+// sitePrefix is the store key prefix holding one site's transfer records.
+func sitePrefix(site int) string { return fmt.Sprintf("transfer/s%d/", site) }
+
+// recordLocked marshals a transfer's durable record (caller holds c.mu);
+// the write itself happens outside the lock via store.PutBatch.
+func (c *Controller) recordLocked(t *transfer.Transfer) (store.KV, bool) {
 	site, ok := c.owners[t.ID]
 	if !ok {
 		site = -1
@@ -223,9 +386,9 @@ func (c *Controller) persist(t *transfer.Transfer) {
 	})
 	if err != nil {
 		log.Printf("controlplane: persist transfer %d: %v", t.ID, err)
-		return
+		return store.KV{}, false
 	}
-	c.st.Put(tKey(t.ID), b)
+	return store.KV{Key: tKey(site, t.ID), Value: b}, true
 }
 
 // recover rebuilds in-memory transfer state from the store (controller
@@ -277,7 +440,7 @@ func (c *Controller) Serve(lis net.Listener) {
 		if err != nil {
 			return
 		}
-		cc := &clientConn{c: conn, wt: c.WriteTimeout}
+		cc := &clientConn{c: conn, clk: c.clock, wt: c.writeTO}
 		c.mu.Lock()
 		if c.closing {
 			c.mu.Unlock()
@@ -304,10 +467,17 @@ func (c *Controller) Addr() net.Addr {
 	return c.lis.Addr()
 }
 
-// Close stops serving and closes all connections.
+// Close stops serving, closes all connections, and stops the admission
+// shard workers. Safe to call more than once.
 func (c *Controller) Close() {
 	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
 	c.closing = true
+	close(c.done)
 	if c.lis != nil {
 		c.lis.Close()
 	}
@@ -320,15 +490,17 @@ func (c *Controller) Close() {
 
 // readDeadline arms the dead-client detector before each read.
 func (c *Controller) readDeadline(cc *clientConn) {
-	if c.ReadTimeout > 0 {
-		cc.c.SetReadDeadline(time.Now().Add(c.ReadTimeout))
+	if c.readTO > 0 {
+		cc.c.SetReadDeadline(c.clock.Now().Add(c.readTO))
 	}
 }
 
 // handshake runs the hello/welcome exchange: the first frame must be a
-// MsgHello carrying a matching ProtoVersion. Old-version clients get a
+// MsgHello carrying a negotiable ProtoVersion. The controller speaks
+// min(client, ProtoVersion); clients older than MinProtoVersion get a
 // typed version-mismatch error before the connection closes — never a
-// hang or a silent drop.
+// hang or a silent drop. A hello past the WithMaxClients cap draws a
+// typed overloaded error with a retry-after hint.
 func (c *Controller) handshake(cc *clientConn) bool {
 	c.readDeadline(cc)
 	m, err := ReadMsg(cc.c)
@@ -340,20 +512,34 @@ func (c *Controller) handshake(cc *clientConn) bool {
 			Err: fmt.Sprintf("first message must be %q, got %q", MsgHello, m.Type)})
 		return false
 	}
-	if m.Version != ProtoVersion {
+	ver := m.Version
+	if ver > ProtoVersion {
+		ver = ProtoVersion
+	}
+	if ver < MinProtoVersion {
 		cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeVersionMismatch,
-			Err: fmt.Sprintf("protocol version %d not supported (controller speaks %d)", m.Version, ProtoVersion)})
+			Err: fmt.Sprintf("protocol version %d not supported (controller speaks %d..%d)", m.Version, MinProtoVersion, ProtoVersion)})
 		return false
 	}
 	c.mu.Lock()
+	if c.maxClients > 0 && c.nRegistered >= c.maxClients {
+		c.mu.Unlock()
+		c.ctr.refusedClients.Add(1)
+		cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeOverloaded,
+			RetryAfterMs: int(c.retryAfter / time.Millisecond),
+			Err:          fmt.Sprintf("client cap reached (%d)", c.maxClients)})
+		return false
+	}
 	cc.site = m.Site
+	cc.ver = ver
 	cc.registered = true
+	c.nRegistered++
 	// Adopt the connection as the site's rate-push target. Latest hello
 	// wins: a client reconnecting after a network blip (or after this
 	// controller took over from a failed one) re-owns its transfers here.
 	c.sites[m.Site] = cc
 	c.mu.Unlock()
-	return cc.send(&Message{Type: MsgWelcome, Seq: m.Seq, Version: ProtoVersion, Site: m.Site}) == nil
+	return cc.send(&Message{Type: MsgWelcome, Seq: m.Seq, Version: ver, Site: m.Site}) == nil
 }
 
 func (c *Controller) handle(cc *clientConn) {
@@ -361,8 +547,11 @@ func (c *Controller) handle(cc *clientConn) {
 		cc.c.Close()
 		c.mu.Lock()
 		delete(c.conns, cc)
-		if cc.registered && c.sites[cc.site] == cc {
-			delete(c.sites, cc.site)
+		if cc.registered {
+			c.nRegistered--
+			if c.sites[cc.site] == cc {
+				delete(c.sites, cc.site)
+			}
 		}
 		c.mu.Unlock()
 	}()
@@ -387,12 +576,17 @@ func (c *Controller) handle(cc *clientConn) {
 				cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeBadRequest, Err: "submit without request"})
 				continue
 			}
-			id, err := c.submit(*m.Request, cc.site, m.Token)
-			if err != nil {
-				cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeBadRequest, Err: err.Error()})
+			c.enqueueSubmit(cc, m)
+
+		case MsgResync:
+			if cc.ver < 2 {
+				cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeProtocol,
+					Err: "resync requires protocol version 2"})
 				continue
 			}
-			cc.send(&Message{Type: MsgSubmitAck, Seq: m.Seq, ID: id})
+			snap := c.snapshotSite(cc.site)
+			c.ctr.resyncs.Add(1)
+			cc.send(&Message{Type: MsgSnapshot, Seq: m.Seq, Snapshot: snap})
 
 		case MsgLinkFailure:
 			if err := c.FailFiber(m.FiberID); err != nil {
@@ -418,6 +612,90 @@ func (c *Controller) handle(cc *clientConn) {
 	}
 }
 
+// enqueueSubmit routes a submission onto its site's admission shard, or
+// sheds it with a typed overloaded error (plus retry-after hint) when the
+// shard's bounded queue is full. The reader goroutine never blocks on
+// admission, so a burst of submissions cannot wedge liveness handling.
+func (c *Controller) enqueueSubmit(cc *clientConn, m *Message) {
+	sh := c.shards[c.shardFor(cc.site)]
+	select {
+	case sh.jobs <- admitJob{cc: cc, seq: m.Seq, req: *m.Request, token: m.Token}:
+	default:
+		c.ctr.overloads.Add(1)
+		cc.send(&Message{Type: MsgError, Seq: m.Seq, Code: ErrCodeOverloaded,
+			RetryAfterMs: int(c.retryAfter / time.Millisecond),
+			Err:          "admission queue full"})
+	}
+}
+
+// admitLoop is one shard's worker: it drains queued submissions in
+// batches, commits each batch under a single lock acquisition and a
+// single store write, then acks outside the lock.
+func (c *Controller) admitLoop(sh *admitShard) {
+	defer c.wg.Done()
+	batch := make([]admitJob, 0, admitBatchMax)
+	for {
+		select {
+		case <-c.done:
+			return
+		case j := <-sh.jobs:
+			if c.admitGate != nil {
+				select {
+				case <-c.admitGate:
+				case <-c.done:
+					return
+				}
+			}
+			batch = append(batch[:0], j)
+		drain:
+			for len(batch) < admitBatchMax {
+				select {
+				case j2 := <-sh.jobs:
+					batch = append(batch, j2)
+				default:
+					break drain
+				}
+			}
+			c.admitBatch(batch)
+		}
+	}
+}
+
+// admitBatch commits a batch of submissions: one lock acquisition for the
+// whole batch, one store write for every new record, acks strictly after
+// the records are durable (so an acked submit always survives failover).
+func (c *Controller) admitBatch(batch []admitJob) {
+	type reply struct {
+		cc *clientConn
+		m  Message
+	}
+	replies := make([]reply, 0, len(batch))
+	kvs := make([]store.KV, 0, len(batch))
+	admitted := 0
+	c.mu.Lock()
+	for _, j := range batch {
+		id, kv, err := c.submitLocked(j.req, j.cc.site, j.token)
+		if err != nil {
+			replies = append(replies, reply{j.cc, Message{Type: MsgError, Seq: j.seq, Code: ErrCodeBadRequest, Err: err.Error()}})
+			continue
+		}
+		if kv.Key != "" {
+			kvs = append(kvs, kv)
+		}
+		admitted++
+		replies = append(replies, reply{j.cc, Message{Type: MsgSubmitAck, Seq: j.seq, ID: id}})
+	}
+	c.mu.Unlock()
+	c.st.PutBatch(kvs)
+	// Count before acking: once a client holds an ack, the counters must
+	// already reflect its admission.
+	c.ctr.admitted.Add(uint64(admitted))
+	c.ctr.admitBatches.Add(1)
+	for i := range replies {
+		replies[i].cc.send(&replies[i].m)
+	}
+}
+
 func (c *Controller) activeCountLocked() int {
 	n := 0
 	for _, t := range c.transfers {
@@ -434,17 +712,31 @@ func (c *Controller) Submit(r WireRequest) (int, error) {
 	return c.submit(r, -1, "")
 }
 
-// submit registers a transfer request for a site and returns its id.
-// site -1 means no owner. A non-empty token makes the call idempotent:
-// resubmitting a token the controller has already seen — including one
-// recovered from the store after failover — returns the original id
-// without creating a duplicate transfer.
+// submit registers a transfer request synchronously (in-process callers
+// and tests; the wire path batches through admitBatch instead).
 func (c *Controller) submit(r WireRequest, site int, token string) (int, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	id, kv, err := c.submitLocked(r, site, token)
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if kv.Key != "" {
+		c.st.Put(kv.Key, kv.Value)
+	}
+	return id, nil
+}
+
+// submitLocked registers a transfer request for a site and returns its id
+// plus the durable record to write (empty key when the submission was an
+// idempotent replay). site -1 means no owner. A non-empty token makes the
+// call idempotent: resubmitting a token the controller has already seen —
+// including one recovered from the store after failover — returns the
+// original id without creating a duplicate transfer.
+func (c *Controller) submitLocked(r WireRequest, site int, token string) (int, store.KV, error) {
 	if token != "" {
 		if id, ok := c.tokens[token]; ok {
-			return id, nil
+			return id, store.KV{}, nil
 		}
 	}
 	req := transfer.Request{
@@ -459,10 +751,10 @@ func (c *Controller) submit(r WireRequest, site int, token string) (int, error) 
 		req.Deadline = c.slot + r.DeadlineSlots
 	}
 	if r.Src < 0 || r.Src >= c.Net.NumSites() || r.Dst < 0 || r.Dst >= c.Net.NumSites() {
-		return 0, fmt.Errorf("site out of range")
+		return 0, store.KV{}, fmt.Errorf("site out of range")
 	}
 	if err := req.Validate(); err != nil {
-		return 0, err
+		return 0, store.KV{}, err
 	}
 	c.nextID++
 	t := transfer.NewTransfer(req)
@@ -474,8 +766,67 @@ func (c *Controller) submit(r WireRequest, site int, token string) (int, error) 
 		c.tokens[token] = req.ID
 		c.tokenByID[req.ID] = token
 	}
-	c.persist(t)
-	return req.ID, nil
+	kv, ok := c.recordLocked(t)
+	if !ok {
+		return req.ID, store.KV{}, nil
+	}
+	return req.ID, kv, nil
+}
+
+// snapshotSite builds the resync snapshot for a site by replaying the
+// site's transfer records straight from the replicated store — the same
+// durable state a failover successor recovers from — so the client's view
+// after one round trip matches what any controller generation would
+// serve. Finished transfers are skipped (their final rate push already
+// went out or never will); entries are id-sorted and capped to fit the
+// frame limit.
+func (c *Controller) snapshotSite(site int) *WireSnapshot {
+	recs := c.st.SnapshotPrefix(sitePrefix(site))
+	c.mu.Lock()
+	snap := &WireSnapshot{Slot: c.slot}
+	delete(c.resyncNeeded, site)
+	c.mu.Unlock()
+	keys := make([]string, 0, len(recs))
+	for k := range recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // key embeds the zero-padded id: id order
+	for _, k := range keys {
+		var p persistedTransfer
+		if err := json.Unmarshal(recs[k], &p); err != nil {
+			log.Printf("controlplane: corrupt transfer record %s in resync: %v", k, err)
+			continue
+		}
+		if p.Done {
+			continue
+		}
+		if len(snap.Pending) >= snapMaxEntries {
+			snap.Truncated = true
+			break
+		}
+		snap.Pending = append(snap.Pending, SnapshotTransfer{
+			ID:             p.Req.ID,
+			Token:          p.Token,
+			Src:            p.Req.Src,
+			Dst:            p.Req.Dst,
+			SizeGbits:      p.Req.SizeGbits,
+			RemainingGbits: p.Remaining,
+		})
+	}
+	return snap
+}
+
+// ResyncPending returns the sites whose last rate push was dropped and
+// that have not resynced since (sorted; for tests and operators).
+func (c *Controller) ResyncPending() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.resyncNeeded))
+	for s := range c.resyncNeeded {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // FailFiber removes a fiber from the physical network and rebuilds the
@@ -524,8 +875,10 @@ func (c *Controller) FailFiber(fiberID int) error {
 // submitted: a client that reconnected (possibly to a standby controller
 // that took over this store) is re-adopted at its next hello and keeps
 // receiving allocations for its in-flight transfers. Pushes happen after
-// the state lock is released, so a slow or partitioned client can never
-// stall the slot loop; each send is bounded by WriteTimeout.
+// the state lock is released and fan out one goroutine per admission
+// shard; each send is bounded by WriteTimeout, and a send that fails
+// (slow, partitioned, or dead client) drops the connection and marks the
+// site for snapshot resync instead of stalling the rest of its shard.
 func (c *Controller) Tick() core.SearchStats {
 	c.mu.Lock()
 	var active []*transfer.Transfer
@@ -542,6 +895,7 @@ func (c *Controller) Tick() core.SearchStats {
 	// Record allocations and advance accounting.
 	now := float64(c.slot) * c.SlotSeconds
 	perConn := map[*clientConn][]WireRate{}
+	kvs := make([]store.KV, 0, len(active))
 	for _, t := range active {
 		t.Alloc = st.Alloc[t.ID]
 		for _, pr := range t.Alloc {
@@ -559,19 +913,69 @@ func (c *Controller) Tick() core.SearchStats {
 		if t.Done {
 			c.completed++
 		}
-		c.persist(t)
+		if kv, ok := c.recordLocked(t); ok {
+			kvs = append(kvs, kv)
+		}
 	}
 	c.slot++
-	b, err := json.Marshal(c.slot)
-	if err == nil {
-		c.st.Put("meta/slot", b)
+	if b, err := json.Marshal(c.slot); err == nil {
+		kvs = append(kvs, store.KV{Key: "meta/slot", Value: b})
 	}
 	c.mu.Unlock()
-
-	for cc, rates := range perConn {
-		cc.send(&Message{Type: MsgRates, Rates: rates})
-	}
+	c.st.PutBatch(kvs)
+	c.pushRates(perConn)
 	return st.Stats
+}
+
+// pushRates fans the slot's allocations out per shard: connections hash
+// onto shards by site, each shard flushes its batch on its own goroutine,
+// and a failed send (write timeout, dead connection) marks that site for
+// resync without delaying the shard's remaining clients more than its
+// own WriteTimeout.
+func (c *Controller) pushRates(perConn map[*clientConn][]WireRate) {
+	if len(perConn) == 0 {
+		return
+	}
+	type push struct {
+		cc    *clientConn
+		rates []WireRate
+	}
+	groups := make([][]push, len(c.shards))
+	for cc, rates := range perConn {
+		i := c.shardFor(cc.site)
+		groups[i] = append(groups[i], push{cc, rates})
+	}
+	var wg sync.WaitGroup
+	var failMu sync.Mutex
+	var failedSites []int
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		c.ctr.pushShards.Add(1)
+		wg.Add(1)
+		go func(g []push) {
+			defer wg.Done()
+			for _, p := range g {
+				if err := p.cc.send(&Message{Type: MsgRates, Rates: p.rates}); err != nil {
+					c.ctr.pushFailures.Add(1)
+					failMu.Lock()
+					failedSites = append(failedSites, p.cc.site)
+					failMu.Unlock()
+					continue
+				}
+				c.ctr.ratePushes.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(failedSites) > 0 {
+		c.mu.Lock()
+		for _, s := range failedSites {
+			c.resyncNeeded[s] = true
+		}
+		c.mu.Unlock()
+	}
 }
 
 // NextID returns the id the next submitted transfer will receive. After

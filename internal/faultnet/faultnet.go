@@ -149,13 +149,24 @@ func (i *Injector) Wrap(lis net.Listener) net.Listener {
 // client's WithDialer option) whose connections carry the fault schedule.
 // Dials fail while partitioned.
 func (i *Injector) Dialer() func(ctx context.Context, addr string) (net.Conn, error) {
+	return i.DialerFrom(func(ctx context.Context, addr string) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	})
+}
+
+// DialerFrom wraps an arbitrary base dialer with the fault schedule, so
+// faults can be injected on transports other than TCP — the load
+// generator runs tens of thousands of clients over in-memory pipes and
+// still exercises drops, corruption, and partitions this way. Dials fail
+// while partitioned.
+func (i *Injector) DialerFrom(base func(ctx context.Context, addr string) (net.Conn, error)) func(ctx context.Context, addr string) (net.Conn, error) {
 	return func(ctx context.Context, addr string) (net.Conn, error) {
 		if i.Partitioned() {
 			i.count(func(s *Stats) { s.Refusals++ })
 			return nil, fmt.Errorf("faultnet: partitioned")
 		}
-		var d net.Dialer
-		c, err := d.DialContext(ctx, "tcp", addr)
+		c, err := base(ctx, addr)
 		if err != nil {
 			return nil, err
 		}

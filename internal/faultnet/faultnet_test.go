@@ -207,3 +207,42 @@ func TestWrapListenerInjectsServerSide(t *testing.T) {
 		t.Errorf("read got (%d, %v), want EOF after blackholed write", n, err)
 	}
 }
+
+// TestDialerFromWrapsNonTCPTransport: faults ride on top of whatever
+// transport the base dialer provides — here an in-memory pipe, the
+// transport the load generator uses for 10^4+ clients.
+func TestDialerFromWrapsNonTCPTransport(t *testing.T) {
+	inj := New(Config{Seed: 3, DropProb: 1})
+	var serverEnd net.Conn
+	base := func(ctx context.Context, addr string) (net.Conn, error) {
+		c, s := net.Pipe()
+		serverEnd = s
+		return c, nil
+	}
+	conn, err := inj.DialerFrom(base)(context.Background(), "mem://x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	defer serverEnd.Close()
+
+	// Every write is blackholed: the caller sees success, the pipe's far
+	// end sees nothing (a read would block forever).
+	if n, err := conn.Write([]byte("gone")); n != 4 || err != nil {
+		t.Fatalf("blackholed write = (%d, %v)", n, err)
+	}
+	serverEnd.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := serverEnd.Read(buf); err == nil {
+		t.Errorf("far end received %d bytes despite DropProb=1", n)
+	}
+	if st := inj.Stats(); st.Conns != 1 || st.Drops != 1 {
+		t.Errorf("stats = %+v, want 1 conn / 1 drop", st)
+	}
+
+	// Partition refuses new dials through the wrapped dialer too.
+	inj.Partition(true)
+	if _, err := inj.DialerFrom(base)(context.Background(), "mem://x"); err == nil {
+		t.Error("partitioned dial succeeded")
+	}
+}

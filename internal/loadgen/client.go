@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"owan/internal/controlplane"
+)
+
+// liteClient speaks the control-plane wire protocol directly with a
+// single goroutine and no background machinery — the full
+// controlplane.Client spends three goroutines (manager, read loop,
+// heartbeat) per instance, which at 10^5 clients is 3x10^5 goroutines
+// of pure overhead. The lite client gives up push handling (rate
+// frames are drained and discarded while waiting for a reply) in
+// exchange for a fleet that scales to the paper's client counts on one
+// machine.
+type liteClient struct {
+	site  int
+	dial  func(context.Context, string) (net.Conn, error)
+	rng   *rand.Rand
+	rpcTO time.Duration
+
+	conn net.Conn
+	seq  uint64
+}
+
+func (lc *liteClient) nextSeq() uint64 { lc.seq++; return lc.seq }
+
+func (lc *liteClient) drop() {
+	if lc.conn != nil {
+		lc.conn.Close()
+		lc.conn = nil
+	}
+}
+
+func (lc *liteClient) close() { lc.drop() }
+
+// sleep waits d plus up to 50% deterministic jitter, so retry storms
+// from a big fleet decorrelate without losing reproducibility.
+func (lc *liteClient) sleep(d time.Duration) {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	time.Sleep(d + time.Duration(lc.rng.Int63n(int64(d)/2+1)))
+}
+
+// connect dials and completes the hello/welcome handshake.
+func (lc *liteClient) connect(deadline time.Time) error {
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	c, err := lc.dial(ctx, "mem")
+	if err != nil {
+		return err
+	}
+	c.SetDeadline(time.Now().Add(lc.rpcTO))
+	if err := controlplane.WriteMsg(c, &controlplane.Message{
+		Type: controlplane.MsgHello, Seq: lc.nextSeq(),
+		Version: controlplane.ProtoVersion, Site: lc.site,
+	}); err != nil {
+		c.Close()
+		return err
+	}
+	m, err := controlplane.ReadMsg(c)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	if m.Type != controlplane.MsgWelcome {
+		c.Close()
+		return fmt.Errorf("loadgen: handshake reply %q (%s: %s)", m.Type, m.Code, m.Err)
+	}
+	c.SetDeadline(time.Time{})
+	lc.conn = c
+	return nil
+}
+
+// submit delivers one request under an idempotency token, retrying
+// through overload rejections (honoring the server's retry-after hint),
+// reconnects, and injected faults until acked or past the deadline.
+// Every retry carries the same token, so the controller admits the
+// transfer at most once no matter how many attempts the network cost.
+func (lc *liteClient) submit(req controlplane.WireRequest, token string, deadline time.Time) (id, overloads int, err error) {
+	backoff := 2 * time.Millisecond
+	bump := func() {
+		lc.sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	// Overload backoff starts at the server's retry-after hint and grows
+	// exponentially across consecutive rejections: with 10^5 clients and
+	// a few thousand queue slots, retrying on the flat hint keeps the
+	// whole fleet hammering at the same cadence and >95% of RPCs become
+	// wasted rejections.
+	var obackoff time.Duration
+	for time.Now().Before(deadline) {
+		if lc.conn == nil {
+			if err := lc.connect(deadline); err != nil {
+				bump()
+				continue
+			}
+			backoff = 2 * time.Millisecond
+		}
+		seq := lc.nextSeq()
+		lc.conn.SetWriteDeadline(time.Now().Add(lc.rpcTO))
+		if err := controlplane.WriteMsg(lc.conn, &controlplane.Message{
+			Type: controlplane.MsgSubmit, Seq: seq, Token: token, Request: &req,
+		}); err != nil {
+			lc.drop()
+			continue
+		}
+	recv:
+		for {
+			lc.conn.SetReadDeadline(time.Now().Add(lc.rpcTO))
+			m, err := controlplane.ReadMsg(lc.conn)
+			if err != nil {
+				lc.drop()
+				break recv
+			}
+			switch {
+			case m.Type == controlplane.MsgRates || m.Seq != seq:
+				// Async push, or a stale reply from an earlier attempt.
+			case m.Type == controlplane.MsgSubmitAck:
+				return m.ID, overloads, nil
+			case m.Type == controlplane.MsgError && m.Code == controlplane.ErrCodeOverloaded:
+				overloads++
+				hint := time.Duration(m.RetryAfterMs) * time.Millisecond
+				if hint <= 0 {
+					hint = backoff
+				}
+				if obackoff < hint {
+					obackoff = hint
+				}
+				lc.sleep(obackoff)
+				if obackoff < 4*time.Second {
+					obackoff *= 2
+				}
+				break recv // resend on the same connection
+			case m.Type == controlplane.MsgError:
+				return 0, overloads, fmt.Errorf("loadgen: submit rejected (%s): %s", m.Code, m.Err)
+			}
+		}
+	}
+	return 0, overloads, fmt.Errorf("loadgen: submit %s: deadline exceeded", token)
+}
+
+// resync performs the v2 snapshot exchange on a fresh connection.
+func (lc *liteClient) resync(deadline time.Time) (*controlplane.WireSnapshot, error) {
+	if lc.conn == nil {
+		if err := lc.connect(deadline); err != nil {
+			return nil, err
+		}
+	}
+	seq := lc.nextSeq()
+	lc.conn.SetDeadline(time.Now().Add(lc.rpcTO))
+	defer lc.conn.SetDeadline(time.Time{})
+	if err := controlplane.WriteMsg(lc.conn, &controlplane.Message{
+		Type: controlplane.MsgResync, Seq: seq, Site: lc.site,
+	}); err != nil {
+		lc.drop()
+		return nil, err
+	}
+	for {
+		m, err := controlplane.ReadMsg(lc.conn)
+		if err != nil {
+			lc.drop()
+			return nil, err
+		}
+		if m.Type == controlplane.MsgRates || m.Seq != seq {
+			continue
+		}
+		if m.Type != controlplane.MsgSnapshot || m.Snapshot == nil {
+			return nil, fmt.Errorf("loadgen: resync reply %q (%s: %s)", m.Type, m.Code, m.Err)
+		}
+		return m.Snapshot, nil
+	}
+}

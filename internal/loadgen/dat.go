@@ -1,0 +1,46 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// DatHeader is the comment block opening results/loadgen.dat, matching
+// the format of the repo's other results files.
+const DatHeader = `# loadgen: sharded admission pipeline under synthetic client fleets
+# one row per run; latencies are client-observed submit latencies
+# (first attempt to durable ack, retries and backoff included)
+#
+# label            clients  submits  admit_per_s   p50_ms    p99_ms   mean_ms  overloads  ovl_rate  lost  dup  resyncs  elapsed_s
+`
+
+// FormatRow renders one run as a results row.
+func FormatRow(label string, res *Result) string {
+	return fmt.Sprintf("%-18s %7d %8d %12.1f %8.2f %9.2f %9.2f %10d %9.4f %5d %4d %8d %10.2f\n",
+		label, res.Clients, res.Admission.Submits,
+		res.Admission.ThroughputPerSec,
+		res.Admission.P50LatencySec*1000,
+		res.Admission.P99LatencySec*1000,
+		res.Admission.MeanLatencySec*1000,
+		res.Admission.Overloads, res.Admission.OverloadRate,
+		res.Lost, res.Duplicated, res.Counters.Resyncs,
+		res.Elapsed.Seconds())
+}
+
+// AppendDat appends a row to path, writing the header first if the file
+// is new or empty.
+func AppendDat(path, label string, res *Result) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		if _, err := io.WriteString(f, DatHeader); err != nil {
+			return err
+		}
+	}
+	_, err = io.WriteString(f, FormatRow(label, res))
+	return err
+}

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"owan/internal/faultnet"
+)
+
+// TestCleanRunExactlyOnce: a modest clean fleet admits every submission
+// exactly once and the audit agrees with the counters.
+func TestCleanRunExactlyOnce(t *testing.T) {
+	res, err := Run(Config{Clients: 200, SubmitsPerClient: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Duplicated != 0 {
+		t.Fatalf("lost=%d dup=%d, want 0/0", res.Lost, res.Duplicated)
+	}
+	if got, want := res.Admission.Submits, 400; got != want {
+		t.Errorf("admitted %d, want %d", got, want)
+	}
+	if res.Counters.Admitted != 400 {
+		t.Errorf("counter admitted = %d, want 400", res.Counters.Admitted)
+	}
+	if res.ResyncChecked == 0 {
+		t.Error("resync audit checked nothing")
+	}
+	if res.Counters.Resyncs == 0 {
+		t.Error("no resyncs counted despite the audit")
+	}
+	if res.Admission.ThroughputPerSec <= 0 {
+		t.Errorf("throughput = %v", res.Admission.ThroughputPerSec)
+	}
+}
+
+// TestTinyQueueForcesOverloads: a single shard with a depth-1 queue
+// under a concurrent burst must shed with typed overloads — and the
+// shed submissions still land exactly once via token retries.
+func TestTinyQueueForcesOverloads(t *testing.T) {
+	res, err := Run(Config{
+		Clients: 150, SubmitsPerClient: 2, Seed: 3,
+		Shards: 1, QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Duplicated != 0 {
+		t.Fatalf("lost=%d dup=%d, want 0/0", res.Lost, res.Duplicated)
+	}
+	if res.Admission.Overloads == 0 {
+		t.Error("no overloads despite a depth-1 queue under 150 concurrent clients")
+	}
+	if res.Counters.Overloads != uint64(res.Admission.Overloads) {
+		t.Errorf("server counted %d overloads, clients absorbed %d",
+			res.Counters.Overloads, res.Admission.Overloads)
+	}
+}
+
+// TestDegradedAndPartitionedRunConverges: drops, delays, corruption,
+// and a mid-run partition cost retries but never exactly-once.
+func TestDegradedAndPartitionedRunConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degraded run waits out a partition")
+	}
+	res, err := Run(Config{
+		Clients: 120, SubmitsPerClient: 2, Seed: 11,
+		Fault: faultnet.Config{
+			DropProb: 0.05, DelayProb: 0.2, MaxDelay: 2 * time.Millisecond,
+			CorruptProb: 0.02,
+		},
+		FaultFrac:     0.5,
+		PartitionFrac: 0.25, // severed from the start, healed after 150ms
+		PartitionFor:  150 * time.Millisecond,
+		RPCTimeout:    700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Duplicated != 0 {
+		t.Fatalf("lost=%d dup=%d under faults, want 0/0", res.Lost, res.Duplicated)
+	}
+	if got, want := res.Admission.Submits, 240; got != want {
+		t.Errorf("admitted %d, want %d", got, want)
+	}
+	if res.Faults.Conns == 0 {
+		t.Error("degraded fraction never dialed through the injector")
+	}
+	if res.PartitionFaults.Refusals == 0 {
+		t.Error("partition never refused a dial or write")
+	}
+}
+
+// TestFormatRowAndHeader: the dat row stays aligned with the header's
+// column count.
+func TestFormatRowAndHeader(t *testing.T) {
+	res := &Result{Clients: 10, Submits: 10}
+	row := FormatRow("clean", res)
+	lines := strings.Split(strings.TrimSpace(DatHeader), "\n")
+	header := strings.Fields(strings.TrimPrefix(lines[len(lines)-1], "#"))
+	if got, want := len(strings.Fields(row)), len(header); got != want {
+		t.Errorf("row has %d fields, header names %d", got, want)
+	}
+}

@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// MemListener is an in-memory net.Listener whose connections are
+// net.Pipe pairs. The load generator runs tens of thousands of
+// concurrent clients against one controller process; real TCP sockets
+// would burn two file descriptors per client and trip typical fd
+// limits long before 10^5, while pipes cost only memory. Pipe ends
+// honor deadlines, so the controller's read/write timeouts and the
+// fault injector behave exactly as they do over TCP.
+type MemListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+// NewMemListener returns an open in-memory listener.
+func NewMemListener() *MemListener {
+	return &MemListener{ch: make(chan net.Conn, 256), done: make(chan struct{})}
+}
+
+// Accept returns the server end of the next dialed pipe.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unblocks Accept and fails subsequent dials.
+func (l *MemListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr returns a placeholder address.
+func (l *MemListener) Addr() net.Addr { return memAddr{} }
+
+// Dial is the client-side dial function (compatible with the
+// control-plane client's WithDialer and faultnet's DialerFrom): it
+// creates a pipe, hands the server end to Accept, and returns the
+// client end. The addr argument is ignored.
+func (l *MemListener) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, ctx.Err()
+	}
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }

@@ -1,0 +1,46 @@
+package metrics
+
+// AdmissionStats summarizes a load-generator run against the controller's
+// sharded admission pipeline: how fast submissions were durably admitted,
+// the submit-latency distribution as clients observed it (including any
+// overload backoff and reconnects), and how often the controller pushed
+// back. cmd/owan-loadgen reports one of these per run; the loadgen smoke
+// gate asserts on its fields.
+type AdmissionStats struct {
+	// Submits is the number of submissions that were eventually admitted.
+	Submits int
+	// ThroughputPerSec is admitted submissions over the wall-clock span of
+	// the run (0 when the span is not positive).
+	ThroughputPerSec float64
+	// MeanLatencySec, P50LatencySec, P99LatencySec describe the
+	// client-observed submit latency: first attempt to durable ack,
+	// retries included.
+	MeanLatencySec float64
+	P50LatencySec  float64
+	P99LatencySec  float64
+	// Overloads counts overloaded rejections clients absorbed (each one a
+	// backoff-and-retry, not a loss).
+	Overloads int
+	// OverloadRate is overloads over all attempts (admits + overloads),
+	// in [0,1].
+	OverloadRate float64
+}
+
+// ComputeAdmission derives the summary from per-submit latencies (seconds),
+// the overload-rejection count, and the run's wall-clock span in seconds.
+func ComputeAdmission(latenciesSec []float64, overloads int, elapsedSec float64) AdmissionStats {
+	st := AdmissionStats{
+		Submits:        len(latenciesSec),
+		MeanLatencySec: Mean(latenciesSec),
+		P50LatencySec:  Percentile(latenciesSec, 50),
+		P99LatencySec:  Percentile(latenciesSec, 99),
+		Overloads:      overloads,
+	}
+	if elapsedSec > 0 {
+		st.ThroughputPerSec = float64(len(latenciesSec)) / elapsedSec
+	}
+	if attempts := len(latenciesSec) + overloads; attempts > 0 {
+		st.OverloadRate = float64(overloads) / float64(attempts)
+	}
+	return st
+}

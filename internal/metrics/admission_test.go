@@ -1,0 +1,39 @@
+package metrics
+
+import "testing"
+
+func TestComputeAdmission(t *testing.T) {
+	lat := []float64{0.010, 0.020, 0.030, 0.040}
+	st := ComputeAdmission(lat, 1, 2.0)
+	if st.Submits != 4 {
+		t.Errorf("Submits = %d, want 4", st.Submits)
+	}
+	if !almost(st.ThroughputPerSec, 2.0) {
+		t.Errorf("ThroughputPerSec = %v, want 2", st.ThroughputPerSec)
+	}
+	if !almost(st.MeanLatencySec, 0.025) {
+		t.Errorf("MeanLatencySec = %v, want 0.025", st.MeanLatencySec)
+	}
+	if !almost(st.P50LatencySec, 0.020) {
+		t.Errorf("P50LatencySec = %v, want 0.020 (nearest rank)", st.P50LatencySec)
+	}
+	if !almost(st.P99LatencySec, 0.040) {
+		t.Errorf("P99LatencySec = %v, want 0.040", st.P99LatencySec)
+	}
+	if st.Overloads != 1 || !almost(st.OverloadRate, 0.2) {
+		t.Errorf("Overloads = %d rate %v, want 1 / 0.2", st.Overloads, st.OverloadRate)
+	}
+}
+
+func TestComputeAdmissionEmpty(t *testing.T) {
+	st := ComputeAdmission(nil, 0, 0)
+	if st.Submits != 0 || st.ThroughputPerSec != 0 || st.OverloadRate != 0 ||
+		st.MeanLatencySec != 0 || st.P50LatencySec != 0 || st.P99LatencySec != 0 {
+		t.Errorf("empty run produced nonzero stats: %+v", st)
+	}
+	// Overloads with zero admits still yield a rate.
+	st = ComputeAdmission(nil, 5, 1)
+	if !almost(st.OverloadRate, 1.0) {
+		t.Errorf("all-overload run rate = %v, want 1", st.OverloadRate)
+	}
+}

@@ -42,6 +42,46 @@ func (s *Store) Put(key string, value []byte) {
 	s.log = append(s.log, Entry{Seq: uint64(len(s.log) + 1), Key: key, Value: v})
 }
 
+// KV is one key/value pair for batch writes.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// PutBatch stores every pair under a single lock acquisition and appends
+// them to the replication log in order. The controller's admission
+// pipeline uses this to make a whole batch of submissions durable with
+// one store round trip; an empty batch is a no-op.
+func (s *Store) PutBatch(kvs []KV) {
+	if len(kvs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, kv := range kvs {
+		v := append([]byte(nil), kv.Value...)
+		s.data[kv.Key] = v
+		s.log = append(s.log, Entry{Seq: uint64(len(s.log) + 1), Key: kv.Key, Value: v})
+	}
+}
+
+// SnapshotPrefix returns a copy of every key/value with the given prefix
+// under one lock acquisition — a consistent point-in-time view. The
+// controller's snapshot resync reads a site's transfer records this way,
+// so the snapshot a client converges on is exactly the durable state a
+// failover successor would recover.
+func (s *Store) SnapshotPrefix(prefix string) map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[string][]byte{}
+	for k, v := range s.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out[k] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}
+
 // Delete removes a key (a no-op if absent, still logged for replicas).
 func (s *Store) Delete(key string) {
 	s.mu.Lock()

@@ -44,6 +44,64 @@ func TestKeysPrefix(t *testing.T) {
 	}
 }
 
+func TestPutBatch(t *testing.T) {
+	s := New()
+	s.PutBatch(nil) // no-op, no log entry
+	if s.Seq() != 0 {
+		t.Errorf("empty batch logged: seq = %d", s.Seq())
+	}
+	src := []byte("abc")
+	s.PutBatch([]KV{
+		{Key: "transfer/s1/1", Value: src},
+		{Key: "transfer/s1/2", Value: []byte("def")},
+		{Key: "meta/slot", Value: []byte("7")},
+	})
+	if s.Seq() != 3 {
+		t.Errorf("seq = %d, want 3", s.Seq())
+	}
+	// Batch values are copied, not aliased.
+	src[0] = 'z'
+	if v, _ := s.Get("transfer/s1/1"); string(v) != "abc" {
+		t.Errorf("batch aliased caller's buffer: %q", v)
+	}
+	// Batched entries replicate like individual Puts.
+	r := New()
+	if err := Sync(s, r); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Get("transfer/s1/2"); string(v) != "def" {
+		t.Errorf("replica missing batched key: %q", v)
+	}
+}
+
+func TestSnapshotPrefix(t *testing.T) {
+	s := New()
+	s.Put("transfer/s1/1", []byte("a"))
+	s.Put("transfer/s1/2", []byte("b"))
+	s.Put("transfer/s2/1", []byte("c"))
+	s.Put("meta/slot", []byte("0"))
+	snap := s.SnapshotPrefix("transfer/s1/")
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v, want 2 keys", snap)
+	}
+	if string(snap["transfer/s1/1"]) != "a" || string(snap["transfer/s1/2"]) != "b" {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// The snapshot is a copy: later writes don't leak in, and mutating
+	// the returned values doesn't corrupt the store.
+	s.Put("transfer/s1/3", []byte("d"))
+	if len(snap) != 2 {
+		t.Error("snapshot observed a later write")
+	}
+	snap["transfer/s1/1"][0] = 'z'
+	if v, _ := s.Get("transfer/s1/1"); string(v) != "a" {
+		t.Errorf("mutation leaked into store: %q", v)
+	}
+	if got := s.SnapshotPrefix("nope/"); len(got) != 0 {
+		t.Errorf("snapshot of absent prefix = %v", got)
+	}
+}
+
 func TestReplication(t *testing.T) {
 	p := New()
 	r := New()
