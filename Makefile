@@ -29,16 +29,17 @@ bench-compare:
 	sh scripts/benchcompare.sh $(BASE)
 
 # bench-json runs the annealing hot-path benchmarks — including the
-# >64-site ISP100-class energy benchmarks in internal/core — and writes the
-# results as a JSON map (name -> ns/op, allocs/op; schema in DESIGN.md §8)
-# so the numbers can be committed and diffed across PRs.
-BENCH_JSON ?= BENCH_PR6.json
+# >64-site ISP100/ISP200-class energy and annealing benchmarks — and writes
+# the results as a JSON map (name -> ns/op, allocs/op; schema in DESIGN.md
+# §8) so the numbers can be committed and diffed across PRs.
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	sh scripts/benchjson.sh 'BenchmarkAnneal|BenchmarkEnergyISP' $(BENCH_JSON) './...'
 
 # bench-smoke compiles and runs every benchmark exactly once — a fast CI
 # guard that the benchmark harness itself keeps working. internal/core
-# carries the scale benchmarks (ISP100/ISP200 energy).
+# carries the scale benchmarks (ISP100/ISP200 energy); the root package
+# carries the annealing-engine ones (AnnealISP100/AnnealISP200).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/core
 

@@ -330,6 +330,37 @@ func BenchmarkAnnealISP100(b *testing.B) {
 	}
 }
 
+// BenchmarkAnnealISP200 is AnnealISP100 at the 200-site scale the frontier-
+// compacted engines target (four 64-bit mask words): one long-lived
+// controller, warm persistent evaluator, cross-slot provision cache. The
+// iteration budget is halved against ISP100 so a full -bench sweep stays in
+// the minutes range; anneal-iters/s is the comparable figure.
+func BenchmarkAnnealISP200(b *testing.B) {
+	net := topology.ISP(200, 10, 1)
+	ts := ablationWorkload(b, net)
+	cfg := core.Config{
+		Net: net, Policy: transfer.SJF, Seed: 11,
+		MaxIterations: 30, BatchSize: 8, Workers: runtime.GOMAXPROCS(0),
+		MaxChurn: -1, DeltaEval: true,
+	}
+	o := core.New(cfg)
+	defer o.Close()
+	start := topology.InitialTopology(net)
+	o.ComputeNetworkState(start, ts, 0, experiments.SlotSeconds) // warm the evaluator
+	b.ResetTimer()
+	iters, pHits, pMisses := 0, 0, 0
+	for i := 0; i < b.N; i++ {
+		st := o.ComputeNetworkState(start, ts, 0, experiments.SlotSeconds)
+		iters += st.Stats.Iterations
+		pHits += st.Stats.ProvisionHits
+		pMisses += st.Stats.ProvisionMisses
+	}
+	b.ReportMetric(float64(iters)/b.Elapsed().Seconds(), "anneal-iters/s")
+	if n := pHits + pMisses; n > 0 {
+		b.ReportMetric(100*float64(pHits)/float64(n), "provision-hit-%")
+	}
+}
+
 // --- Warm-start + replica exchange (ISSUE 6 tentpole) ---
 
 // benchAnnealTempered measures the tempering engine on the 40-site ISP:

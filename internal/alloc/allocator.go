@@ -162,6 +162,32 @@ type Allocator struct {
 	labeledW    []uint64 // mw, per-search scratch
 	forceScalar bool
 
+	// Resumable sweep rows (see bidi.go): per-source visited and frontier
+	// bitmaps plus the last completed level, so a suspended stamp sweep
+	// picks up where it stopped instead of re-walking the component. One
+	// word per source on the single-word path, mw words on the multi-word
+	// path. Validity rides on rowGen, like the stamps the sweep writes.
+	sVis, sFront []uint64
+	sLevel       []int32
+
+	// Bidirectional-search scratch (see bidi.go): visited and frontier
+	// bitmaps for both ends plus the next-level accumulator (mw words
+	// each), the sparse frontier id lists (capacity n, so the level sweeps
+	// never allocate), and the sweep's private generation-stamped level
+	// arrays — private so a pure distance query never clobbers the probe
+	// memo rows.
+	bVisS, bVisD []uint64
+	bFrS, bFrD   []uint64
+	bNext        []uint64
+	bIDsS, bIDsD []int32
+	bLvS, bLvD   []int64
+	bGen         int32
+
+	// stat counts engine events at call granularity (see engineStats); the
+	// differential harnesses read it to prove the paths they force actually
+	// fired. Cumulative across loads.
+	stat engineStats
+
 	// Warm-load state for ThroughputPatched: the (U, V)-sorted enumeration
 	// of the base topology retained by SetBase, so a patched evaluation
 	// merges a few changed pairs instead of re-enumerating and re-sorting
@@ -260,6 +286,25 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 	copy(a.cur, a.adjOff[:n])
 	a.useMask = !a.forceScalar
 	a.wide = a.useMask && n > 64
+	if a.useMask {
+		// Private level arrays for the bidirectional distance query; gen-
+		// stamped like stampDist so starting a query is O(1), with the same
+		// wrap guard.
+		if a.bGen > math.MaxInt32/2 {
+			for i := range a.bLvS {
+				a.bLvS[i] = 0
+			}
+			for i := range a.bLvD {
+				a.bLvD[i] = 0
+			}
+			a.bGen = 0
+		}
+		a.bLvS = grow64(a.bLvS, n)
+		a.bLvD = grow64(a.bLvD, n)
+		a.bIDsS = grow32(a.bIDsS, n)[:0]
+		a.bIDsD = grow32(a.bIDsD, n)[:0]
+		a.sLevel = grow32(a.sLevel, n)
+	}
 	if a.useMask && !a.wide {
 		if cap(a.liveAdj) < n {
 			a.liveAdj = make([]uint64, n)
@@ -274,6 +319,10 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		a.usedBy = growU(a.usedBy, m)
 		clear(a.usedBy)
 		a.rowLive = 0
+		// No clearing: a resumable row is read only after resumeStamp
+		// validates rowGen and (re)initializes it.
+		a.sVis = growU(a.sVis, n)
+		a.sFront = growU(a.sFront, n)
 	}
 	if a.wide {
 		mw := bitset.Words(n)
@@ -288,6 +337,13 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		clear(a.rowLiveW)
 		a.labeledW = growU(a.labeledW, mw)
 		a.edgeOf = grow32(a.edgeOf, n*n)
+		a.bVisS = growU(a.bVisS, mw)
+		a.bVisD = growU(a.bVisD, mw)
+		a.bFrS = growU(a.bFrS, mw)
+		a.bFrD = growU(a.bFrD, mw)
+		a.bNext = growU(a.bNext, mw)
+		a.sVis = growU(a.sVis, n*mw)
+		a.sFront = growU(a.sFront, n*mw)
 	}
 	// Filling in link-enumeration order reproduces the reference
 	// implementation's per-site neighbor order exactly.
@@ -756,16 +812,68 @@ func (a *Allocator) runLoaded(demands []Demand, tiered bool, rec func(i int, rat
 				continue
 			}
 			for a.unmet[i] > eps {
-				// A memoized probe tree answers the two non-claiming
-				// outcomes (unreachable, or reachable only beyond this
-				// tier) without a search: unreachability is permanent and
-				// the hop bound is monotone, so acting on them never
-				// changes which claims happen — a demand deferred on a
-				// stale bound is simply re-examined at that earlier tier,
-				// where the real search repeats the comparison. The
-				// claiming outcome needs the prev chains and current
-				// hops, so it falls through to the real search.
-				if found, hops, known := a.probe(d.Src, d.Dst); known {
+				// Engine selection (see bidi.go). Mask paths settle the two
+				// non-claiming verdicts — unreachable, or reachable only
+				// beyond this tier — without ever building a tree: a probe
+				// miss advances the source's resumable sweep row just far
+				// enough to bound dst (the row then feeds every later probe
+				// from this source), and a probe hit whose bound decayed
+				// (stamped at an earlier tier than is asking) is re-verified
+				// by the bidirectional query, cheap precisely because the
+				// bound was small. A bound that fits the tier falls through
+				// to the stealth claim search, whose exact current distance
+				// either confirms the claim — leaving the canonical prev
+				// chain for bottleneck/take — or yields the exact deferral
+				// tier. Lower bounds only ever re-examine a demand EARLIER
+				// than the canonical flow would, where the claim search
+				// repeats the comparison, so which claims happen, in which
+				// order, at which rates, is bit-identical.
+				if a.useMask {
+					// The residual graph is undirected (arcs of an edge
+					// share one capacity), so distances are symmetric and
+					// dst's row answers the reverse query at the same cost.
+					found, hops, known := a.probe(d.Src, d.Dst)
+					if !known {
+						found, hops, known = a.probe(d.Dst, d.Src)
+					}
+					if known {
+						if !found {
+							a.nextTier[i] = math.MaxInt
+							break
+						}
+						if hops > l {
+							a.nextTier[i] = hops
+							break
+						}
+						if hops < l {
+							found, hops = a.searchBounded(d.Src, d.Dst)
+							if !found {
+								a.nextTier[i] = math.MaxInt
+								break
+							}
+							if hops > l {
+								a.nextTier[i] = hops
+								break
+							}
+						}
+					} else {
+						// Advance whichever side already holds a row; start
+						// one at the source otherwise.
+						rs, rd := d.Src, d.Dst
+						if a.rowGen[rs] <= a.loadGen && a.rowGen[rd] > a.loadGen {
+							rs, rd = rd, rs
+						}
+						found, bound := a.resumeStamp(rs, rd, l)
+						if !found {
+							a.nextTier[i] = math.MaxInt
+							break
+						}
+						if bound > l {
+							a.nextTier[i] = bound
+							break
+						}
+					}
+					found, hops = a.claimSearch(d.Src, d.Dst)
 					if !found {
 						a.nextTier[i] = math.MaxInt
 						break
@@ -774,14 +882,29 @@ func (a *Allocator) runLoaded(demands []Demand, tiered bool, rec func(i int, rat
 						a.nextTier[i] = hops
 						break
 					}
-				}
-				if !a.shortestResidual(d.Src, d.Dst) {
-					a.nextTier[i] = math.MaxInt
-					break
-				}
-				if hops := int(int32(a.stampDist[d.Src*a.n+d.Dst])); hops > l {
-					a.nextTier[i] = hops
-					break
+				} else {
+					// Scalar fallback: the canonical single-engine flow. A
+					// memoized probe tree answers the non-claiming outcomes;
+					// the claiming outcome needs the prev chains and current
+					// hops, so it falls through to the real search.
+					if found, hops, known := a.probe(d.Src, d.Dst); known {
+						if !found {
+							a.nextTier[i] = math.MaxInt
+							break
+						}
+						if hops > l {
+							a.nextTier[i] = hops
+							break
+						}
+					}
+					if !a.shortestResidual(d.Src, d.Dst) {
+						a.nextTier[i] = math.MaxInt
+						break
+					}
+					if hops := int(int32(a.stampDist[d.Src*a.n+d.Dst])); hops > l {
+						a.nextTier[i] = hops
+						break
+					}
 				}
 				rate := math.Min(a.unmet[i], a.bottleneck(d.Src, d.Dst))
 				if rate <= eps {

@@ -1,0 +1,892 @@
+package alloc
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Frontier-compacted and bidirectional searches (mask paths only; the scalar
+// fallback keeps the canonical single-engine flow).
+//
+// The tiered greedy loop asks three kinds of question, and only one of them
+// needs a shortest-path TREE: claiming a path. The other two — "is dst
+// reachable at all?" and "is dst within this tier's hop budget?" — need just
+// a hop distance, and profiling the ISP200 energy case shows they dominate:
+// per evaluation roughly 280 searches end in a deferral and 30 in a failure,
+// against 75 claims. The canonical BFS pays prevNode/prevEdge stores, edgeOf
+// lookups and usedBy bookkeeping for every label — all of it thrown away
+// when the verdict is "too far, come back at tier 16". Worse, the canonical
+// engine re-walks a source's component from scratch every time a claim
+// overwrote its memo row, and on ISP-class residuals a component sweep is
+// expensive precisely because the graph is path-like: components run ~95% of
+// the sites and diameters reach the 30s.
+//
+// Three engines split the work; runLoaded picks between them on two signals,
+// whether probe() already holds a memo row for the source and whether the
+// row's bound is decayed (older than the tier asking):
+//
+//   - resumeStamp (no bound for dst yet): a forward level-synchronous sweep
+//     over the live-adjacency bitmaps that writes exactly one word per label
+//     — the generation-stamped hop count — and SUSPENDS the moment dst is
+//     labeled, keeping its visited set, frontier and level in per-source
+//     rows (sVis/sFront/sLevel). The next probe miss from the same source
+//     RESUMES where the sweep stopped instead of restarting, so one source
+//     pays each BFS level at most once per load however many demands and
+//     tiers query it; a source whose demands finish early never pays for the
+//     deep tail of its component. Per level the sweep only touches words
+//     containing frontier bits: members come from the compact id list the
+//     previous level collected while it holds at most bSparse nodes, and
+//     from a word-masked scan of the frontier bitmap otherwise (after a
+//     suspension the id list is gone, so the first resumed level always
+//     takes the word-masked path — the bitmap is the persistent form).
+//
+//     Resumed levels mix ages: earlier levels saw residuals that takes have
+//     since thinned. The stamps are still sound LOWER bounds, which is
+//     exactly probe()'s contract: edges only ever leave the residual graph,
+//     so for any current path src=p0..pk the adjacency (p(i-1), p(i)) held
+//     at every earlier moment too, and level-synchronous expansion therefore
+//     stamped each p(i) no later than level i — stamp(dst) <= current
+//     distance. Deferring a demand to tier stamp(dst) just re-examines it
+//     early, where the claim search repeats the comparison exactly; a
+//     frontier that empties proves the visited set is src's complete current
+//     component (unreachability is permanent), recorded as a failure cut.
+//
+//   - claimSearch (bound fits the tier): a stealth forward BFS that labels
+//     through a bitmap and writes ONLY the prevNode/prevEdge chains, leaving
+//     rowGen, the stamps, probeFull and the rowLive/usedBy books untouched —
+//     claiming no longer destroys the source's resumable row, which is what
+//     forced the canonical engine's re-sweeps. Its FIFO order and ascending-
+//     bit labeling are the canonical scan order, so the chain it leaves for
+//     bottleneck/take is bit-identical to the canonical engine's, and its
+//     exact current distance either confirms the claim or yields the exact
+//     deferral tier.
+//
+//   - searchBounded (bound present but decayed — stamped at an earlier tier
+//     than is asking): a bidirectional meet-in-the-middle sweep over the
+//     same bitmaps, growing the smaller frontier each round (the residual
+//     graph is undirected, so the reverse adjacency IS liveAdj). It writes
+//     its levels into private generation-stamped arrays, preserving
+//     whatever rows probe is still serving bounds from, and settles
+//     "distance grew past this tier" and "no longer reachable" verdicts
+//     without paying for prev chains: two balls of radius ~d/2 instead of
+//     one of radius d, and on failure the smaller exhausted side is the
+//     failure cut. On path-like ISP residuals (frontiers average ~3 nodes,
+//     ball volume grows linearly with radius) that is NOT a quadratic win —
+//     which is why it is reserved for decayed-bound re-verification rather
+//     than used as the primary engine (measured numbers in DESIGN.md §9).
+//
+// Why the answers are exactly the canonical ones:
+//
+//   - Reachability is connectivity in the positive-residual graph.
+//     resumeStamp walks it to exhaustion before reporting failure, and the
+//     bidirectional sweep until a side exhausts — identical by definition.
+//     On failure the exhausted side's visited set is a complete component
+//     whose outgoing edges are all saturated, i.e. precisely the failure cut
+//     the canonical search would record, so the doomed-word memo composes
+//     unchanged; when the dst side exhausts first, src additionally learns
+//     it can never reach any member of dst's component.
+//
+//   - Deferral tiers stay conservative and claims stay exact. resumeStamp's
+//     lower bounds can re-examine a demand earlier than the canonical flow
+//     would (never later), where claimSearch's exact current distance makes
+//     the same claim-or-defer decision the canonical search would make; the
+//     bidirectional distance is exact outright. For the latter the invariant
+//     is: after a round, each side has labeled exactly the nodes within its
+//     completed radius (rS resp. rD), with exact levels. A meet found while
+//     expanding, say, the src side to radius rS+1 has candidate cost
+//     c = rS+1+levD(w) <= rS+1+rD, and the minimum candidate of the round
+//     equals the true distance d: if d < min(c), pick the node u on a
+//     shortest path with levS(u) = min(rS+1, d). Either u = dst, which the
+//     src side labeled — but dst is a member of the dst side's visited set
+//     from initialization, so that labeling was itself a meet of cost d in
+//     this round; or levD(u) = d-rS-1 < rD+1, so u was labeled by both
+//     sides in earlier rounds, and whichever side labeled u second saw the
+//     meet then and returned. Both contradict d < min(c).
+//
+//   - Claimed paths are bit-identical. claimSearch rebuilds the prev chains
+//     from scratch on the current residuals in the canonical scan order;
+//     that fresh tree is identical to the one the canonical flow would have
+//     claimed from (whether memoized or freshly searched): a live memo tree
+//     differs from a fresh search only by edges that saturated since it was
+//     built, and those are all non-tree edges — edges a BFS skipped because
+//     their head was already labeled earlier in scan order, whose removal
+//     changes neither labels, order, nor parents (the same argument that
+//     makes the rowLive memo exact in the first place).
+//
+// The resumable rows carry no prev chains, so the source's rowLive bit is
+// cleared when one is started: probe may read the stamps, the claim-capable
+// head of shortestResidual may not.
+const bSparse = 64
+
+// engineStats counts engine events at call granularity — increments live at
+// function entries, returns, and one per-call mode summary, never inside a
+// member loop — so the differential harnesses can assert the paths they mean
+// to force (bidirectional meets from either side, exhaustion early-outs,
+// sparse/dense frontier enumeration crossings) actually ran. A few hundred
+// increments per evaluation; cumulative across loads, reset only by tests.
+type engineStats struct {
+	resume        uint64 // resumeStamp calls
+	resumeExhaust uint64 // sweeps that ran the component dry (failure cut)
+	resumeBound   uint64 // free truncation-bound answers (no expansion)
+	claim         uint64 // claimSearch calls
+	claimCut      uint64 // claim searches that exhausted (failure cut)
+	bidi          uint64 // searchBounded calls
+	bidiMeetS     uint64 // meets detected while expanding the src side
+	bidiMeetD     uint64 // meets detected while expanding the dst side
+	bidiExhaustS  uint64 // src side exhausted first
+	bidiExhaustD  uint64 // dst side exhausted first
+	sweepSparse   uint64 // resumeStampWd calls with >=1 sparse-list level
+	sweepDense    uint64 // resumeStampWd calls with >=1 word-swept level
+	sweepMixed    uint64 // calls that crossed the bSparse threshold
+}
+
+// noteSweep folds one resumeStampWd call's per-level enumeration modes into
+// the sweep counters.
+func (a *Allocator) noteSweep(usedSparse, usedDense bool) {
+	if usedSparse {
+		a.stat.sweepSparse++
+	}
+	if usedDense {
+		a.stat.sweepDense++
+	}
+	if usedSparse && usedDense {
+		a.stat.sweepMixed++
+	}
+}
+
+// resumeStamp answers "at how many hops, at least, is dst?" from src's
+// resumable sweep row, starting one if the source has none this load and
+// advancing it only as far as dst. It reports unreachability exactly (the
+// sweep ran the component to exhaustion) and otherwise a sound lower bound
+// on the current hop count — exact at the moment dst's level was stamped.
+// Two zero-expansion exits: a dst the row already stamped answers from the
+// stamp, and a row whose completed levels already exceed the asking tier l
+// answers sLevel+1 without expanding at all — a level-synchronous sweep
+// truncated at level L stamps every node a current path of length <= L
+// reaches (the same induction that makes the stamps lower bounds), so an
+// unstamped dst satisfies d(src,dst) >= L+1.
+func (a *Allocator) resumeStamp(src, dst, l int) (bool, int) {
+	if a.cutHit(src, dst) {
+		return false, 0
+	}
+	a.stat.resume++
+	if a.wide {
+		if a.mw == 4 {
+			return a.resumeStamp4(src, dst, l)
+		}
+		return a.resumeStampWd(src, dst, l)
+	}
+	return a.resumeStamp1(src, dst, l)
+}
+
+// resumeStamp1 is the single-word (n <= 64) resumable sweep: the visited set
+// and frontier are single machine words in the per-source rows.
+func (a *Allocator) resumeStamp1(src, dst, l int) (bool, int) {
+	adj := a.liveAdj
+	n := a.n
+	sd := a.stampDist[src*n : src*n+n]
+	if a.rowGen[src] <= a.loadGen {
+		a.gen++
+		a.rowGen[src] = a.gen
+		a.rowLive &^= 1 << uint(src) // stamps without prev chains
+		a.probeFull[src] = false
+		sd[src] = int64(a.gen) << 32
+		a.sVis[src] = 1 << uint(src)
+		a.sFront[src] = 1 << uint(src)
+		a.sLevel[src] = 0
+	}
+	vis := a.sVis[src]
+	if vis>>uint(dst)&1 == 1 {
+		return true, int(int32(sd[dst]))
+	}
+	d := int64(a.sLevel[src])
+	if int(d) >= l {
+		a.stat.resumeBound++
+		return true, int(d) + 1 // dst lies beyond every completed level
+	}
+	gen := int64(a.rowGen[src])
+	fr := a.sFront[src]
+	for {
+		var nf uint64
+		for m := fr; m != 0; m &= m - 1 {
+			nf |= adj[bits.TrailingZeros64(m)]
+		}
+		nf &^= vis
+		d++
+		lv := gen<<32 | d
+		for m := nf; m != 0; m &= m - 1 {
+			sd[bits.TrailingZeros64(m)] = lv
+		}
+		vis |= nf
+		fr = nf
+		if vis>>uint(dst)&1 == 1 {
+			a.sVis[src], a.sFront[src], a.sLevel[src] = vis, fr, int32(d)
+			return true, int(d)
+		}
+		if nf == 0 {
+			a.sVis[src], a.sFront[src], a.sLevel[src] = vis, fr, int32(d)
+			a.probeFull[src] = true
+			a.recordCutMask(vis)
+			a.stat.resumeExhaust++
+			return false, 0
+		}
+	}
+}
+
+// resumeStampWd is the multi-word twin of resumeStamp1. Frontier members are
+// enumerated from the compact id list collected by the previous level of
+// this call while it holds at most bSparse nodes, and by sweeping the
+// frontier bitmap's words otherwise (always on the first level after a
+// resume — the bitmap is the state that persists across suspensions).
+func (a *Allocator) resumeStampWd(src, dst, l int) (bool, int) {
+	mw, n := a.mw, a.n
+	adj := a.liveAdjW
+	vis := a.sVis[src*mw : src*mw+mw]
+	fr := a.sFront[src*mw : src*mw+mw]
+	sd := a.stampDist[src*n : src*n+n]
+	if a.rowGen[src] <= a.loadGen {
+		a.gen++
+		a.rowGen[src] = a.gen
+		a.rowLiveW[src>>6] &^= 1 << uint(src&63) // stamps without prev chains
+		a.probeFull[src] = false
+		sd[src] = int64(a.gen) << 32
+		clear(vis)
+		clear(fr)
+		vis[src>>6] = 1 << uint(src&63)
+		fr[src>>6] = 1 << uint(src&63)
+		a.sLevel[src] = 0
+	}
+	dw, db := dst>>6, uint(dst&63)
+	if vis[dw]>>db&1 == 1 {
+		return true, int(int32(sd[dst]))
+	}
+	d := int64(a.sLevel[src])
+	if int(d) >= l {
+		a.stat.resumeBound++
+		return true, int(d) + 1 // dst lies beyond every completed level
+	}
+	gen := int64(a.rowGen[src])
+	nf := a.bNext[:mw]
+	ids := a.bIDsS[:0]
+	sparse := false
+	usedSparse, usedDense := false, false
+	for {
+		clear(nf)
+		if sparse {
+			usedSparse = true
+			for _, v := range ids {
+				row := adj[int(v)*mw : int(v)*mw+mw]
+				for wi := range nf {
+					nf[wi] |= row[wi]
+				}
+			}
+		} else {
+			usedDense = true
+			for wi2, fw := range fr {
+				base := wi2 << 6
+				for m := fw; m != 0; m &= m - 1 {
+					v := base + bits.TrailingZeros64(m)
+					row := adj[v*mw : v*mw+mw]
+					for wi := range nf {
+						nf[wi] |= row[wi]
+					}
+				}
+			}
+		}
+		d++
+		lv := gen<<32 | d
+		cnt := 0
+		ids = ids[:0]
+		for wi := range nf {
+			nw := nf[wi] &^ vis[wi]
+			nf[wi] = nw
+			if nw == 0 {
+				continue
+			}
+			vis[wi] |= nw
+			base := wi << 6
+			cnt += bits.OnesCount64(nw)
+			for m := nw; m != 0; m &= m - 1 {
+				w := base + bits.TrailingZeros64(m)
+				sd[w] = lv
+				ids = append(ids, int32(w))
+			}
+		}
+		copy(fr, nf)
+		a.sLevel[src] = int32(d)
+		sparse = cnt <= bSparse
+		if vis[dw]>>db&1 == 1 {
+			a.bIDsS = ids[:0]
+			a.noteSweep(usedSparse, usedDense)
+			return true, int(d)
+		}
+		if cnt == 0 {
+			a.bIDsS = ids[:0]
+			a.probeFull[src] = true
+			a.recordCutMaskW(vis)
+			a.noteSweep(usedSparse, usedDense)
+			a.stat.resumeExhaust++
+			return false, 0
+		}
+	}
+}
+
+// resumeStamp4 is resumeStampWd specialized to mw == 4 (129–256 sites, the
+// ISP100/ISP200-class benchmark range): the visited, frontier and next-level
+// bitmaps fit in four registers each, so a level costs no clears, no id-list
+// maintenance and no bounds-checked accumulator stores — the frontier words
+// themselves are the compact representation — and the stamp and expansion
+// passes are fused, so each new label is enumerated once: stamping a node
+// and folding its adjacency row into the next level's raw union happen under
+// a single TrailingZeros scan. Identical labeling and results; only
+// wall-clock differs.
+func (a *Allocator) resumeStamp4(src, dst, l int) (bool, int) {
+	const mw = 4
+	n := a.n
+	adj := a.liveAdjW
+	svis := a.sVis[src*mw : src*mw+mw]
+	sfr := a.sFront[src*mw : src*mw+mw]
+	sd := a.stampDist[src*n : src*n+n]
+	if a.rowGen[src] <= a.loadGen {
+		a.gen++
+		a.rowGen[src] = a.gen
+		a.rowLiveW[src>>6] &^= 1 << uint(src&63) // stamps without prev chains
+		a.probeFull[src] = false
+		sd[src] = int64(a.gen) << 32
+		svis[0], svis[1], svis[2], svis[3] = 0, 0, 0, 0
+		sfr[0], sfr[1], sfr[2], sfr[3] = 0, 0, 0, 0
+		svis[src>>6] = 1 << uint(src&63)
+		sfr[src>>6] = 1 << uint(src&63)
+		a.sLevel[src] = 0
+	}
+	dw, db := dst>>6, uint(dst&63)
+	if svis[dw]>>db&1 == 1 {
+		return true, int(int32(sd[dst]))
+	}
+	d := int64(a.sLevel[src])
+	if int(d) >= l {
+		a.stat.resumeBound++
+		return true, int(d) + 1 // dst lies beyond every completed level
+	}
+	gen := int64(a.rowGen[src])
+	vis0, vis1, vis2, vis3 := svis[0], svis[1], svis[2], svis[3]
+	// Seed the raw neighbor union of the stored frontier (its members are
+	// already stamped; only their expansion is pending).
+	var nf0, nf1, nf2, nf3 uint64
+	for m := sfr[0]; m != 0; m &= m - 1 {
+		r := bits.TrailingZeros64(m) * mw
+		nf0 |= adj[r]
+		nf1 |= adj[r+1]
+		nf2 |= adj[r+2]
+		nf3 |= adj[r+3]
+	}
+	for m := sfr[1]; m != 0; m &= m - 1 {
+		r := (64 + bits.TrailingZeros64(m)) * mw
+		nf0 |= adj[r]
+		nf1 |= adj[r+1]
+		nf2 |= adj[r+2]
+		nf3 |= adj[r+3]
+	}
+	for m := sfr[2]; m != 0; m &= m - 1 {
+		r := (128 + bits.TrailingZeros64(m)) * mw
+		nf0 |= adj[r]
+		nf1 |= adj[r+1]
+		nf2 |= adj[r+2]
+		nf3 |= adj[r+3]
+	}
+	for m := sfr[3]; m != 0; m &= m - 1 {
+		r := (192 + bits.TrailingZeros64(m)) * mw
+		nf0 |= adj[r]
+		nf1 |= adj[r+1]
+		nf2 |= adj[r+2]
+		nf3 |= adj[r+3]
+	}
+	for {
+		cur0 := nf0 &^ vis0
+		cur1 := nf1 &^ vis1
+		cur2 := nf2 &^ vis2
+		cur3 := nf3 &^ vis3
+		if cur0|cur1|cur2|cur3 == 0 {
+			// Frontier exhausted: svis is src's complete current component.
+			svis[0], svis[1], svis[2], svis[3] = vis0, vis1, vis2, vis3
+			sfr[0], sfr[1], sfr[2], sfr[3] = 0, 0, 0, 0
+			a.sLevel[src] = int32(d)
+			a.probeFull[src] = true
+			a.recordCutMaskW(svis)
+			a.stat.resumeExhaust++
+			return false, 0
+		}
+		d++
+		lv := gen<<32 | d
+		vis0 |= cur0
+		vis1 |= cur1
+		vis2 |= cur2
+		vis3 |= cur3
+		nf0, nf1, nf2, nf3 = 0, 0, 0, 0
+		for m := cur0; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			sd[w] = lv
+			r := w * mw
+			nf0 |= adj[r]
+			nf1 |= adj[r+1]
+			nf2 |= adj[r+2]
+			nf3 |= adj[r+3]
+		}
+		for m := cur1; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			sd[64+w] = lv
+			r := (64 + w) * mw
+			nf0 |= adj[r]
+			nf1 |= adj[r+1]
+			nf2 |= adj[r+2]
+			nf3 |= adj[r+3]
+		}
+		for m := cur2; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			sd[128+w] = lv
+			r := (128 + w) * mw
+			nf0 |= adj[r]
+			nf1 |= adj[r+1]
+			nf2 |= adj[r+2]
+			nf3 |= adj[r+3]
+		}
+		for m := cur3; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			sd[192+w] = lv
+			r := (192 + w) * mw
+			nf0 |= adj[r]
+			nf1 |= adj[r+1]
+			nf2 |= adj[r+2]
+			nf3 |= adj[r+3]
+		}
+		var visDst uint64
+		switch dw {
+		case 0:
+			visDst = vis0
+		case 1:
+			visDst = vis1
+		case 2:
+			visDst = vis2
+		default:
+			visDst = vis3
+		}
+		if visDst>>db&1 == 1 {
+			svis[0], svis[1], svis[2], svis[3] = vis0, vis1, vis2, vis3
+			sfr[0], sfr[1], sfr[2], sfr[3] = cur0, cur1, cur2, cur3
+			a.sLevel[src] = int32(d)
+			return true, int(d)
+		}
+	}
+}
+
+// claimSearch is the stealth claiming BFS: it writes dst's prevNode/prevEdge
+// chain (the only state bottleneck/take read) and reports the exact current
+// hop count, touching neither the stamps nor any memo book — the source's
+// resumable row survives the claim. Scan order is canonical, so the chain is
+// bit-identical to the one shortestResidual would leave.
+func (a *Allocator) claimSearch(src, dst int) (bool, int) {
+	if a.cutHit(src, dst) {
+		return false, 0
+	}
+	a.stat.claim++
+	if a.wide {
+		if a.mw == 4 {
+			return a.claimSearch4(src, dst)
+		}
+		return a.claimSearchWd(src, dst)
+	}
+	return a.claimSearch1(src, dst)
+}
+
+// claimSearch1 is the single-word (n <= 64) stealth claim search.
+func (a *Allocator) claimSearch1(src, dst int) (bool, int) {
+	adj := a.liveAdj
+	n := a.n
+	edgeOf := a.edgeOf
+	prevNE := a.prevNE[src*n : src*n+n]
+	q := append(a.queue[:0], int32(src))
+	labeled := uint64(1) << uint(src)
+	depth := 0
+	levelEnd := 1
+	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(q)
+		}
+		v := q[head]
+		vLow := int64(v)
+		nw := adj[v] &^ labeled
+		labeled |= nw
+		for ; nw != 0; nw &= nw - 1 {
+			w := int32(bits.TrailingZeros64(nw))
+			prevNE[w] = int64(edgeOf[int(v)*n+int(w)])<<32 | vLow
+			if int(w) == dst {
+				a.queue = q
+				return true, depth + 1
+			}
+			q = append(q, w)
+		}
+	}
+	a.queue = q
+	a.recordCutMask(labeled)
+	a.stat.claimCut++
+	return false, 0
+}
+
+// claimSearchWd is the multi-word twin of claimSearch1.
+func (a *Allocator) claimSearchWd(src, dst int) (bool, int) {
+	mw, n := a.mw, a.n
+	edgeOf := a.edgeOf
+	lab := a.labeledW[:mw]
+	clear(lab)
+	lab[src>>6] = 1 << uint(src&63)
+	prevNE := a.prevNE[src*n : src*n+n]
+	q := append(a.queue[:0], int32(src))
+	depth := 0
+	levelEnd := 1
+	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(q)
+		}
+		v := q[head]
+		vLow := int64(v)
+		vRow := a.liveAdjW[int(v)*mw : int(v)*mw+mw]
+		for wi := 0; wi < mw; wi++ {
+			nw := vRow[wi] &^ lab[wi]
+			if nw == 0 {
+				continue
+			}
+			lab[wi] |= nw
+			base := wi << 6
+			for ; nw != 0; nw &= nw - 1 {
+				w := int32(base + bits.TrailingZeros64(nw))
+				prevNE[w] = int64(edgeOf[int(v)*n+int(w)])<<32 | vLow
+				if int(w) == dst {
+					a.queue = q
+					return true, depth + 1
+				}
+				q = append(q, w)
+			}
+		}
+	}
+	a.queue = q
+	a.recordCutMaskW(lab)
+	a.stat.claimCut++
+	return false, 0
+}
+
+// claimSearch4 is claimSearchWd specialized to mw == 4: the visited bitmap
+// lives in four registers and the per-node word loop is unrolled, with the
+// same FIFO scan order and therefore the same prev chains.
+func (a *Allocator) claimSearch4(src, dst int) (bool, int) {
+	const mw = 4
+	n := a.n
+	adj := a.liveAdjW
+	edgeOf := a.edgeOf
+	prevNE := a.prevNE[src*n : src*n+n]
+	q := append(a.queue[:0], int32(src))
+	var lab0, lab1, lab2, lab3 uint64
+	switch src >> 6 {
+	case 0:
+		lab0 = 1 << uint(src&63)
+	case 1:
+		lab1 = 1 << uint(src&63)
+	case 2:
+		lab2 = 1 << uint(src&63)
+	default:
+		lab3 = 1 << uint(src&63)
+	}
+	depth := 0
+	levelEnd := 1
+	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(q)
+		}
+		v := int(q[head])
+		vLow := int64(v)
+		r := v * mw
+		en := v * n
+		nw0 := adj[r] &^ lab0
+		lab0 |= nw0
+		for ; nw0 != 0; nw0 &= nw0 - 1 {
+			w := bits.TrailingZeros64(nw0)
+			prevNE[w] = int64(edgeOf[en+w])<<32 | vLow
+			if w == dst {
+				a.queue = q
+				return true, depth + 1
+			}
+			q = append(q, int32(w))
+		}
+		nw1 := adj[r+1] &^ lab1
+		lab1 |= nw1
+		for ; nw1 != 0; nw1 &= nw1 - 1 {
+			w := 64 + bits.TrailingZeros64(nw1)
+			prevNE[w] = int64(edgeOf[en+w])<<32 | vLow
+			if w == dst {
+				a.queue = q
+				return true, depth + 1
+			}
+			q = append(q, int32(w))
+		}
+		nw2 := adj[r+2] &^ lab2
+		lab2 |= nw2
+		for ; nw2 != 0; nw2 &= nw2 - 1 {
+			w := 128 + bits.TrailingZeros64(nw2)
+			prevNE[w] = int64(edgeOf[en+w])<<32 | vLow
+			if w == dst {
+				a.queue = q
+				return true, depth + 1
+			}
+			q = append(q, int32(w))
+		}
+		nw3 := adj[r+3] &^ lab3
+		lab3 |= nw3
+		for ; nw3 != 0; nw3 &= nw3 - 1 {
+			w := 192 + bits.TrailingZeros64(nw3)
+			prevNE[w] = int64(edgeOf[en+w])<<32 | vLow
+			if w == dst {
+				a.queue = q
+				return true, depth + 1
+			}
+			q = append(q, int32(w))
+		}
+	}
+	a.queue = q
+	lab := a.labeledW[:mw]
+	lab[0], lab[1], lab[2], lab[3] = lab0, lab1, lab2, lab3
+	a.recordCutMaskW(lab)
+	a.stat.claimCut++
+	return false, 0
+}
+
+// searchBounded reports whether dst is currently reachable from src over
+// positive-residual edges and, if so, the exact minimum hop count. It is a
+// pure query: levels go into private arrays, so the probe memo rows of both
+// endpoints survive untouched; only the doomed-word books are enriched when
+// a side exhausts. Mask paths only.
+func (a *Allocator) searchBounded(src, dst int) (bool, int) {
+	if a.cutHit(src, dst) {
+		return false, 0
+	}
+	a.stat.bidi++
+	if a.wide {
+		return a.searchBoundedWd(src, dst)
+	}
+	return a.searchBounded1(src, dst)
+}
+
+// searchBounded1 is the single-word (n <= 64) bidirectional sweep: both
+// visited sets and frontiers live in registers.
+func (a *Allocator) searchBounded1(src, dst int) (bool, int) {
+	adj := a.liveAdj
+	a.bGen++
+	genS := int64(a.bGen)
+	a.bGen++
+	genD := int64(a.bGen)
+	lvS, lvD := a.bLvS, a.bLvD
+	lvS[src] = genS << 32
+	lvD[dst] = genD << 32
+	visS := uint64(1) << uint(src)
+	visD := uint64(1) << uint(dst)
+	frS, frD := visS, visD
+	dS, dD := 0, 0
+	for {
+		if bits.OnesCount64(frS) <= bits.OnesCount64(frD) {
+			var nf uint64
+			for m := frS; m != 0; m &= m - 1 {
+				nf |= adj[bits.TrailingZeros64(m)]
+			}
+			nf &^= visS
+			dS++
+			lv := genS<<32 | int64(dS)
+			for m := nf; m != 0; m &= m - 1 {
+				lvS[bits.TrailingZeros64(m)] = lv
+			}
+			if mm := nf & visD; mm != 0 {
+				best := math.MaxInt
+				for ; mm != 0; mm &= mm - 1 {
+					w := bits.TrailingZeros64(mm)
+					if lvD[w]>>32 == genD {
+						if c := dS + int(int32(lvD[w])); c < best {
+							best = c
+						}
+					}
+				}
+				a.stat.bidiMeetS++
+				return true, best
+			}
+			if nf == 0 {
+				a.recordCutMask(visS)
+				a.stat.bidiExhaustS++
+				return false, 0
+			}
+			visS |= nf
+			frS = nf
+		} else {
+			var nf uint64
+			for m := frD; m != 0; m &= m - 1 {
+				nf |= adj[bits.TrailingZeros64(m)]
+			}
+			nf &^= visD
+			dD++
+			lv := genD<<32 | int64(dD)
+			for m := nf; m != 0; m &= m - 1 {
+				lvD[bits.TrailingZeros64(m)] = lv
+			}
+			if mm := nf & visS; mm != 0 {
+				best := math.MaxInt
+				for ; mm != 0; mm &= mm - 1 {
+					w := bits.TrailingZeros64(mm)
+					if lvS[w]>>32 == genS {
+						if c := dD + int(int32(lvS[w])); c < best {
+							best = c
+						}
+					}
+				}
+				a.stat.bidiMeetD++
+				return true, best
+			}
+			if nf == 0 {
+				a.recordCutMask(visD)
+				a.doomed[src] |= visD // src sits outside dst's component for good
+				a.stat.bidiExhaustD++
+				return false, 0
+			}
+			visD |= nf
+			frD = nf
+		}
+	}
+}
+
+// searchBoundedWd is the multi-word twin of searchBounded1, with the same
+// sparse-list/word-sweep frontier enumeration as resumeStampWd.
+func (a *Allocator) searchBoundedWd(src, dst int) (bool, int) {
+	mw := a.mw
+	adj := a.liveAdjW
+	visS := a.bVisS[:mw]
+	visD := a.bVisD[:mw]
+	frS := a.bFrS[:mw]
+	frD := a.bFrD[:mw]
+	nf := a.bNext[:mw]
+	clear(visS)
+	clear(visD)
+	clear(frS)
+	clear(frD)
+	a.bGen++
+	genS := int64(a.bGen)
+	a.bGen++
+	genD := int64(a.bGen)
+	lvS, lvD := a.bLvS, a.bLvD
+	lvS[src] = genS << 32
+	lvD[dst] = genD << 32
+	visS[src>>6] = 1 << uint(src&63)
+	visD[dst>>6] = 1 << uint(dst&63)
+	frS[src>>6] = 1 << uint(src&63)
+	frD[dst>>6] = 1 << uint(dst&63)
+	idsS := append(a.bIDsS[:0], int32(src))
+	idsD := append(a.bIDsD[:0], int32(dst))
+	cntS, cntD := 1, 1
+	dS, dD := 0, 0
+	for {
+		fromS := cntS <= cntD
+		fr, vis, ovis, ids, cnt := frD, visD, visS, idsD, cntD
+		lv, olv := lvD, lvS
+		ogen := genS
+		if fromS {
+			fr, vis, ovis, ids, cnt = frS, visS, visD, idsS, cntS
+			lv, olv = lvS, lvD
+			ogen = genD
+		}
+		clear(nf)
+		if cnt <= bSparse {
+			for _, v := range ids {
+				row := adj[int(v)*mw : int(v)*mw+mw]
+				for wi := range nf {
+					nf[wi] |= row[wi]
+				}
+			}
+		} else {
+			for wi2, fw := range fr {
+				base := wi2 << 6
+				for m := fw; m != 0; m &= m - 1 {
+					v := base + bits.TrailingZeros64(m)
+					row := adj[v*mw : v*mw+mw]
+					for wi := range nf {
+						nf[wi] |= row[wi]
+					}
+				}
+			}
+		}
+		var depth int
+		if fromS {
+			dS++
+			depth = dS
+		} else {
+			dD++
+			depth = dD
+		}
+		sd := int64(genD)<<32 | int64(depth)
+		if fromS {
+			sd = int64(genS)<<32 | int64(depth)
+		}
+		cnt = 0
+		ids = ids[:0]
+		best := math.MaxInt
+		for wi := range nf {
+			nw := nf[wi] &^ vis[wi]
+			nf[wi] = nw
+			if nw == 0 {
+				continue
+			}
+			vis[wi] |= nw
+			base := wi << 6
+			cnt += bits.OnesCount64(nw)
+			for m := nw; m != 0; m &= m - 1 {
+				w := base + bits.TrailingZeros64(m)
+				lv[w] = sd
+				ids = append(ids, int32(w))
+			}
+			for mm := nw & ovis[wi]; mm != 0; mm &= mm - 1 {
+				w := base + bits.TrailingZeros64(mm)
+				if olv[w]>>32 == ogen {
+					if c := depth + int(int32(olv[w])); c < best {
+						best = c
+					}
+				}
+			}
+		}
+		if best != math.MaxInt {
+			a.bIDsS, a.bIDsD = idsS[:0], idsD[:0]
+			if fromS {
+				a.stat.bidiMeetS++
+			} else {
+				a.stat.bidiMeetD++
+			}
+			return true, best
+		}
+		if cnt == 0 {
+			if fromS {
+				a.recordCutMaskW(visS)
+				a.stat.bidiExhaustS++
+			} else {
+				a.recordCutMaskW(visD)
+				row := a.doomedW[src*mw : src*mw+mw]
+				for wi := range row {
+					row[wi] |= visD[wi] // src sits outside dst's component for good
+				}
+				a.stat.bidiExhaustD++
+			}
+			a.bIDsS, a.bIDsD = idsS[:0], idsD[:0]
+			return false, 0
+		}
+		if fromS {
+			frS, nf = nf, frS
+			idsS, cntS = ids, cnt
+		} else {
+			frD, nf = nf, frD
+			idsD, cntD = ids, cnt
+		}
+	}
+}

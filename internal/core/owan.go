@@ -388,6 +388,14 @@ func (o *Owan) SetUnitRegenWeights(on bool) {
 // WithoutFiber returns a new controller core whose physical network lacks
 // the given fiber (failure handling, §3.4). The annealing seed is carried
 // over; topology state lives with the caller, so warm starts persist.
+//
+// The provision cache is migrated rather than dropped: an entry survives
+// when its provisioning run was direct-only and every link of its topology
+// routes identically on the reduced network (optical.SameDirectRouting) —
+// conditions under which re-provisioning provably reproduces the cached
+// effective links. On a typical single-fiber failure most site pairs keep
+// their routes, so the failure-response search starts with a warm cache
+// instead of re-provisioning every candidate it has already seen.
 func (o *Owan) WithoutFiber(fiberID int) *Owan {
 	idx := -1
 	for i, f := range o.cfg.Net.Fibers {
@@ -403,7 +411,25 @@ func (o *Owan) WithoutFiber(fiberID int) *Owan {
 	clone.Fibers = append(append([]topology.Fiber(nil), o.cfg.Net.Fibers[:idx]...), o.cfg.Net.Fibers[idx+1:]...)
 	cfg := o.cfg
 	cfg.Net = &clone
-	return New(cfg)
+	nw := New(cfg)
+	if nw.provCache != nil && o.provCache != nil {
+		var links []topology.Link
+		nw.provCache.migrateFrom(o.provCache, func(key []byte, n int) bool {
+			var kn int
+			var ok bool
+			kn, links, ok = topology.DecodeKey(key, links[:0])
+			if !ok || kn != n || n != clone.NumSites() {
+				return false
+			}
+			for _, l := range links {
+				if !o.opt.SameDirectRouting(nw.opt, l.U, l.V) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nw
 }
 
 // ComputeNeighbor generates a random neighbor state by applying
@@ -579,7 +605,7 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 		key := sBest.AppendKey(ev.ctx0.keyBuf[:0])
 		ev.ctx0.keyBuf = key
 		ev.ctx0.eff = eff.AppendLinks(ev.ctx0.eff[:0])
-		o.provCache.put(topology.KeyHash(key), key, eff.N, ev.ctx0.eff)
+		o.provCache.put(topology.KeyHash(key), key, eff.N, ev.ctx0.eff, o.opt.DirectOnly())
 	}
 	res := o.al.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
 	stats.BestEnergy = eBest

@@ -76,8 +76,10 @@ func TestPersistentEvaluatorMatchesFresh(t *testing.T) {
 		for slot := 0; slot < 4; slot++ {
 			if slot == 2 && len(net.Fibers) > 1 {
 				// Fail a fiber mid-run on both sides. WithoutFiber returns a
-				// fresh controller; the persistent one must keep matching with
-				// its caches starting cold again, and the old pool is closed.
+				// fresh controller; the persistent one must keep matching even
+				// though it migrates still-valid provision-cache entries across
+				// the failure (the fresh side gets no cache at all), and the
+				// old pool is closed.
 				fid := net.Fibers[len(net.Fibers)/2].ID
 				oldP, oldF := pers, fresh
 				pers = pers.WithoutFiber(fid)

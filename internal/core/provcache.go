@@ -36,10 +36,15 @@ type provisionCache struct {
 }
 
 type provEntry struct {
-	hash       uint64
-	key        []byte
-	n          int // number of sites of the cached topology
-	links      []topology.Link
+	hash  uint64
+	key   []byte
+	n     int // number of sites of the cached topology
+	links []topology.Link
+	// directOnly records optical.State.DirectOnly() of the provisioning run
+	// that produced this entry: every circuit was a single direct segment on
+	// the precomputed pair routes. Only such entries can be proven still
+	// valid after a fiber removal (see migrateFrom).
+	directOnly bool
 	prev, next int32
 	bnext      int32
 }
@@ -126,8 +131,9 @@ func (c *provisionCache) get(hash uint64, key []byte, dst []topology.Link) ([]to
 }
 
 // put records the effective links of a topology, copying key and links into
-// the slot's retained buffers (evicted entries donate theirs).
-func (c *provisionCache) put(hash uint64, key []byte, n int, links []topology.Link) {
+// the slot's retained buffers (evicted entries donate theirs). directOnly
+// carries the provisioning run's audit flag (see provEntry).
+func (c *provisionCache) put(hash uint64, key []byte, n int, links []topology.Link, directOnly bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if idx := c.find(hash, key); idx >= 0 {
@@ -160,6 +166,7 @@ func (c *provisionCache) put(hash uint64, key []byte, n int, links []topology.Li
 	e.key = append(e.key[:0], key...)
 	e.n = n
 	e.links = append(e.links[:0], links...)
+	e.directOnly = directOnly
 	if h, ok := c.m[hash]; ok {
 		e.bnext = h
 	} else {
@@ -174,6 +181,29 @@ func (c *provisionCache) put(hash uint64, key []byte, n int, links []topology.Li
 	c.head = idx
 	if c.tail < 0 {
 		c.tail = idx
+	}
+}
+
+// migrateFrom copies the still-valid entries of old into c, preserving
+// recency order (oldest first, so old's most-recent entry ends up at c's
+// LRU front). An entry qualifies when its provisioning run was direct-only
+// AND the caller-supplied predicate confirms the entry's topology routes
+// identically on the new network — together those prove the cached
+// effective links are what provisioning the topology from scratch on the
+// new network would produce, so migration can never serve a stale result.
+// Everything else (regenerator-routed entries, entries whose routes moved)
+// is dropped, exactly as the old drop-the-world invalidation did for all.
+func (c *provisionCache) migrateFrom(old *provisionCache, valid func(key []byte, n int) bool) {
+	if c == nil || old == nil {
+		return
+	}
+	old.mu.Lock()
+	defer old.mu.Unlock()
+	for idx := old.tail; idx >= 0; idx = old.entries[idx].prev {
+		e := &old.entries[idx]
+		if e.directOnly && valid(e.key, e.n) {
+			c.put(e.hash, e.key, e.n, e.links, true)
+		}
 	}
 }
 

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"owan/internal/optical"
+	"owan/internal/topology"
+)
+
+// migrationNet builds an ISP-style network tuned for the provision-cache
+// migration scenario: optical reach is raised so the topology walk provisions
+// direct-only (the migratable class), and one fiber is duplicated in
+// parallel. The duplicate never carries a primary route — shortest-path
+// relaxation is strictly-improving, so the earlier-inserted original wins
+// every tie — which makes failing it the canonical "fiber off the primary
+// routing tree" event that migration is for.
+func migrationNet(sites int) (*topology.Network, int) {
+	net := topology.ISP(sites, 8, 1)
+	net.ReachKm *= 10
+	dup := net.Fibers[0]
+	maxID := 0
+	for _, f := range net.Fibers {
+		if f.ID > maxID {
+			maxID = f.ID
+		}
+	}
+	dup.ID = maxID + 1
+	net.Fibers = append(net.Fibers, dup)
+	return net, dup.ID
+}
+
+// TestWithoutFiberCacheMigration pins the soundness and the non-vacuity of
+// the provision-cache migration across a fiber failure. Soundness: every
+// entry WithoutFiber carries over must hold exactly the effective links that
+// provisioning its topology from scratch on the REDUCED network produces.
+// Non-vacuity, both ways: failing the redundant parallel fiber (no primary
+// route touches it) must migrate entries, and failing a fiber that carries
+// primary routes must drop the entries routed over it — so the validity
+// predicate is neither rejecting nor accepting blindly.
+func TestWithoutFiberCacheMigration(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 3
+	}
+	migratedTotal, droppedTotal := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		sites := []int{12, 18, 70}[int(seed)%3] // 70 exercises the multi-word mask tables
+		net, dupID := migrationNet(sites)
+		o := New(Config{Net: net, Seed: 500 + seed})
+		rng := rand.New(rand.NewSource(900 + seed))
+
+		// Populate the cache with a neighbor walk, exactly as searches do:
+		// provision each visited topology and record its effective links
+		// with the run's direct-only audit bit.
+		s := topology.InitialTopology(net)
+		for i := 0; i < 25 && s != nil; i++ {
+			eff := o.opt.ProvisionEffective(s)
+			links := eff.AppendLinks(nil)
+			key := s.AppendKey(nil)
+			o.provCache.put(topology.KeyHash(key), key, eff.N, links, o.opt.DirectOnly())
+			s = o.computeNeighbor(rng, s)
+		}
+		directEntries := 0
+		for i := 0; i < o.provCache.used; i++ {
+			if o.provCache.entries[i].directOnly {
+				directEntries++
+			}
+		}
+		if directEntries == 0 {
+			t.Fatalf("seed %d: raised reach produced no direct-only runs; scenario broken", seed)
+		}
+
+		// Fail the redundant duplicate plus a sample of primary-carrying
+		// fibers; validate every migrated entry against cold provisioning.
+		fids := []int{dupID}
+		for fi := 0; fi < len(net.Fibers)-1; fi += 1 + len(net.Fibers)/4 {
+			fids = append(fids, net.Fibers[fi].ID)
+		}
+		for _, fid := range fids {
+			nw := o.WithoutFiber(fid)
+			migrated := nw.provCache.used
+			migratedTotal += migrated
+			droppedTotal += o.provCache.used - migrated
+			if fid == dupID && migrated < directEntries {
+				t.Fatalf("seed %d: failing the redundant fiber migrated %d < %d direct-only entries",
+					seed, migrated, directEntries)
+			}
+
+			ref := optical.NewState(nw.cfg.Net)
+			for idx := 0; idx < migrated; idx++ {
+				e := &nw.provCache.entries[idx]
+				n, reqLinks, ok := topology.DecodeKey(e.key, nil)
+				if !ok || n != nw.cfg.Net.NumSites() {
+					t.Fatalf("seed %d fiber %d: bad migrated key", seed, fid)
+				}
+				req := topology.NewLinkSet(n)
+				for _, l := range reqLinks {
+					req.Add(l.U, l.V, l.Count)
+				}
+				want := ref.ProvisionEffective(req).AppendLinks(nil)
+				name := fmt.Sprintf("seed %d sites %d fiber %d entry %d", seed, sites, fid, idx)
+				if len(want) != len(e.links) {
+					t.Fatalf("%s: migrated entry has %d links, cold provisioning %d",
+						name, len(e.links), len(want))
+				}
+				for i, l := range want {
+					if e.links[i] != l {
+						t.Fatalf("%s: link %d: migrated %+v, cold %+v", name, i, e.links[i], l)
+					}
+				}
+			}
+			nw.Close()
+		}
+		o.Close()
+	}
+	if migratedTotal == 0 {
+		t.Fatalf("no cache entry ever migrated; predicate is vacuously rejecting")
+	}
+	if droppedTotal == 0 {
+		t.Fatalf("no cache entry ever dropped; predicate is vacuously accepting")
+	}
+	t.Logf("migrated %d entries, dropped %d", migratedTotal, droppedTotal)
+}

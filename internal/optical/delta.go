@@ -3,6 +3,7 @@ package optical
 import (
 	"math"
 
+	"owan/internal/bitset"
 	"owan/internal/topology"
 )
 
@@ -88,7 +89,12 @@ type Snapshot struct {
 
 	fiberUse  []waveSet
 	regenFree []int
-	nextID    int
+	// Frozen images of the State's persistent regenerator caches (see
+	// State.regenAvail/wRegen), so LoadSnapshot restores them with copies
+	// instead of an O(n) recompute.
+	regenAvail bitset.Set
+	wRegen     []float64
+	nextID     int
 
 	eff      *topology.LinkSet
 	effLinks []topology.Link // (U, V)-sorted, Count == built
@@ -166,7 +172,7 @@ func (s *State) BuildSnapshot(snap *Snapshot, ls *topology.LinkSet) {
 	if snap.eff == nil || snap.eff.N != ls.N {
 		snap.eff = topology.NewLinkSet(ls.N)
 	} else {
-		clear(snap.eff.Count)
+		snap.eff.Clear()
 	}
 
 	for _, l := range sc.links {
@@ -209,6 +215,8 @@ func (s *State) BuildSnapshot(snap *Snapshot, ls *topology.LinkSet) {
 		copy(snap.fiberUse[id], w)
 	}
 	snap.regenFree = append(snap.regenFree[:0], s.regenFree...)
+	snap.regenAvail = append(snap.regenAvail[:0], s.regenAvail...)
+	snap.wRegen = append(snap.wRegen[:0], s.wRegen...)
 	snap.nextID = s.nextID
 
 	// Scarcity guard.
@@ -250,7 +258,7 @@ func (s *State) provisionSnap(snap *Snapshot, src, dst int) bool {
 		snap.segs = append(snap.segs, Segment{FiberIDs: route.ids, Wavelength: lambda, LengthKm: route.km})
 		c.segLen++
 		if i+1 < len(hops)-1 {
-			s.regenFree[v]--
+			s.setRegen(v, s.regenFree[v]-1)
 			snap.regs = append(snap.regs, v)
 			c.regenLen++
 		}
@@ -271,6 +279,8 @@ func (s *State) LoadSnapshot(snap *Snapshot) {
 		copy(s.fiberUse[id], w)
 	}
 	copy(s.regenFree, snap.regenFree)
+	s.regenAvail.Copy(snap.regenAvail)
+	copy(s.wRegen, snap.wRegen)
 	s.nextID = snap.nextID
 }
 
@@ -411,7 +421,7 @@ func (s *State) ProvisionDelta(snap *Snapshot, removed, added []topology.Link, j
 				if s.regenFree[site] < tightRegenMargin {
 					j.regenScarce = true
 				}
-				s.regenFree[site]++
+				s.setRegen(site, s.regenFree[site]+1)
 				j.regenGave = append(j.regenGave, int32(site))
 			}
 		}
@@ -490,7 +500,7 @@ func (s *State) provisionDelta(src, dst int, j *Journal) bool {
 			j.claims = append(j.claims, waveOp{fiber: int32(id), lambda: int32(lambda)})
 		}
 		if i+1 < len(hops)-1 {
-			s.regenFree[v]--
+			s.setRegen(v, s.regenFree[v]-1)
 			if s.regenFree[v] < tightRegenMargin {
 				j.regenScarce = true
 			}
@@ -514,10 +524,10 @@ func (s *State) RevertDelta(j *Journal) {
 		s.fiberUse[op.fiber].set(int(op.lambda))
 	}
 	for _, site := range j.regenTook {
-		s.regenFree[site]++
+		s.setRegen(int(site), s.regenFree[site]+1)
 	}
 	for _, site := range j.regenGave {
-		s.regenFree[site]--
+		s.setRegen(int(site), s.regenFree[site]-1)
 	}
 	s.nextID = j.nextID
 }

@@ -87,7 +87,7 @@ func (s *State) ProvisionEffective(ls *topology.LinkSet) *topology.LinkSet {
 	if sc.eff == nil || sc.eff.N != ls.N {
 		sc.eff = topology.NewLinkSet(ls.N)
 	} else {
-		clear(sc.eff.Count)
+		sc.eff.Clear()
 	}
 	for _, l := range sc.links {
 		built := 0

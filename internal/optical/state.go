@@ -103,6 +103,29 @@ type State struct {
 	fiberUse   []waveSet
 	fiberWaves []int
 	regenFree  []int // remaining regenerators per site
+	// regenAvail and wRegen are the persistent compacted form of the
+	// regenerator-transit-graph vertex set that findRegenRoute's mask
+	// Dijkstras consume: bit v of regenAvail is set iff regenFree[v] > 0,
+	// and wRegen[v] caches that site's node weight (1/regenFree[v] + 1e-6,
+	// or 1 under the unit-weights ablation; garbage where the bit is clear).
+	// Both are maintained incrementally at every pool mutation (setRegen and
+	// the bulk images below), so a route query no longer rebuilds the vertex
+	// set and weights with an O(n) scan — the same persistent-frontier idea
+	// as the allocator's resumable rows in internal/alloc.
+	// regenAvail0/wRegen0 are the Reset images, precomputed from the static
+	// pools so Reset restores the caches with two copies.
+	regenAvail  bitset.Set
+	wRegen      []float64
+	regenAvail0 bitset.Set
+	wRegen0     []float64
+	// directOnly is a provisioning audit flag: true while every
+	// findRegenRoute call since the last Reset was answered by the
+	// direct-segment fast path on the pair's PRIMARY fiber route (a single
+	// unregenerated span, no alternate route, no regenerator graph). Such a
+	// run consulted nothing but the primary route tables and the wavelength
+	// occupancy those same routes produced — the property the provision-cache
+	// migration on fiber failure needs (see SameDirectRouting).
+	directOnly bool
 	circuits   map[int]*Circuit
 	nextID     int
 	// unitRegenWeights disables the inverse-remaining regenerator
@@ -156,7 +179,6 @@ type State struct {
 type provScratch struct {
 	sets      []waveSet       // routeLambda wavelength scan buffer
 	nodes     []int           // regenerator-graph node list
-	nodeW     []float64       // per-site node weights (mask Dijkstra)
 	nodeMaskW bitset.Set      // multi-word node mask (>64-site mask Dijkstra)
 	need      []int           // per-site regenerator need (routeBuildable)
 	hops      []int           // hopsOf result buffer
@@ -351,7 +373,60 @@ func NewState(net *topology.Network) *State {
 	for i, site := range net.Sites {
 		s.regenFree[i] = site.Regenerators
 	}
+	s.regenAvail = bitset.New(ns)
+	s.wRegen = make([]float64, ns)
+	s.regenAvail0 = bitset.New(ns)
+	s.wRegen0 = make([]float64, ns)
+	s.rebuildRegenCaches()
+	s.directOnly = true
 	return s
+}
+
+// setRegen is the single incremental mutation point for a site's regenerator
+// pool: it keeps regenFree, the availability mask, and the weight cache in
+// sync. Bulk pool updates (Reset, LoadSnapshot) restore the caches from
+// precomputed or snapshotted images instead.
+func (s *State) setRegen(v, n int) {
+	s.regenFree[v] = n
+	if n > 0 {
+		s.regenAvail.Set(v)
+		if s.unitRegenWeights {
+			s.wRegen[v] = 1
+		} else {
+			s.wRegen[v] = 1/float64(n) + 1e-6
+		}
+	} else {
+		s.regenAvail.Clear(v)
+	}
+}
+
+// rebuildRegenCaches recomputes the live availability mask and weight cache
+// from the current pools, and the Reset images from the static pools. Called
+// from NewState and when the weight formula changes (SetUnitRegenWeights);
+// everything else maintains the caches incrementally.
+func (s *State) rebuildRegenCaches() {
+	s.regenAvail.Zero()
+	for v, n := range s.regenFree {
+		if n > 0 {
+			s.regenAvail.Set(v)
+			if s.unitRegenWeights {
+				s.wRegen[v] = 1
+			} else {
+				s.wRegen[v] = 1/float64(n) + 1e-6
+			}
+		}
+	}
+	s.regenAvail0.Zero()
+	for v, site := range s.net.Sites {
+		if site.Regenerators > 0 {
+			s.regenAvail0.Set(v)
+			if s.unitRegenWeights {
+				s.wRegen0[v] = 1
+			} else {
+				s.wRegen0[v] = 1/float64(site.Regenerators) + 1e-6
+			}
+		}
+	}
 }
 
 // scratchBuf returns the State's scratch area, allocating it on first use
@@ -380,6 +455,11 @@ func (s *State) Clone() *State {
 		fiberUse:         make([]waveSet, len(s.fiberUse)),
 		fiberWaves:       s.fiberWaves,
 		regenFree:        append([]int(nil), s.regenFree...),
+		regenAvail:       append(bitset.Set(nil), s.regenAvail...),
+		wRegen:           append([]float64(nil), s.wRegen...),
+		regenAvail0:      append(bitset.Set(nil), s.regenAvail0...),
+		wRegen0:          append([]float64(nil), s.wRegen0...),
+		directOnly:       s.directOnly,
 		circuits:         make(map[int]*Circuit, len(s.circuits)),
 		nextID:           s.nextID,
 		unitRegenWeights: s.unitRegenWeights,
@@ -416,8 +496,18 @@ func (s *State) Reset() {
 	for i, site := range s.net.Sites {
 		s.regenFree[i] = site.Regenerators
 	}
+	s.regenAvail.Copy(s.regenAvail0)
+	copy(s.wRegen, s.wRegen0)
+	s.directOnly = true
 	clear(s.circuits)
 }
+
+// DirectOnly reports whether every route query since the last Reset was
+// answered by the direct-segment fast path on a primary fiber route.
+// Consumers use it to mark provision-cache entries whose provisioning
+// depended only on the primary per-pair route tables, making them eligible
+// for migration across a fiber removal.
+func (s *State) DirectOnly() bool { return s.directOnly }
 
 // RegenFree returns the number of spare regenerators at site v.
 func (s *State) RegenFree(v int) int { return s.regenFree[v] }
@@ -445,7 +535,10 @@ func (s *State) FiberDistKm(u, v int) float64 { return s.pairDist[u][v] }
 // SetUnitRegenWeights toggles the regenerator-balancing ablation: when
 // true, regenerator-graph nodes weigh 1 instead of the inverse of their
 // remaining pool.
-func (s *State) SetUnitRegenWeights(on bool) { s.unitRegenWeights = on }
+func (s *State) SetUnitRegenWeights(on bool) {
+	s.unitRegenWeights = on
+	s.rebuildRegenCaches() // the cached node weights embed the formula
+}
 
 // SetScalarFallback disables (or restores) the bitmask regenerator-routing
 // fast paths, forcing every route query onto the materialized transit-graph
@@ -473,6 +566,51 @@ func (s *State) FiberPathIDs(u, v int) []int { return s.pairPath[u][v] }
 // canReach reports whether a single unregenerated segment u->v can exist
 // (precomputed reach adjacency).
 func (s *State) canReach(u, v int) bool { return s.inReach[u*s.net.NumSites()+v] }
+
+// SameDirectRouting reports whether the PRIMARY direct-segment routing for
+// the ordered pair (u, v) is identical between s and t: the same reach
+// verdict and, when in reach, the same primary fiber route (ids, distance,
+// and per-fiber wavelength counts). When this holds for every link of a
+// topology whose provisioning was answered entirely by the direct fast path
+// on primary routes (State.DirectOnly), replaying that provisioning on t
+// makes exactly the same decisions: by induction over the circuit sequence
+// the wavelength occupancy evolves identically on the identical fibers, so
+// each primary first-fit scan returns the same wavelength, succeeds before
+// any alternate is consulted — which is why the alternate tables need no
+// comparison — and yields identical effective capacities. This is the
+// validity predicate of the provision-cache migration across a fiber
+// removal in internal/core.
+func (s *State) SameDirectRouting(t *State, u, v int) bool {
+	ns := s.net.NumSites()
+	if t.net.NumSites() != ns {
+		return false
+	}
+	if s.inReach[u*ns+v] != t.inReach[u*ns+v] {
+		return false
+	}
+	if s.inReach[u*ns+v] {
+		if s.pairDist[u][v] != t.pairDist[u][v] ||
+			!sameFiberIDs(s, t, s.pairPath[u][v], t.pairPath[u][v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFiberIDs reports whether two fiber-id sequences are identical AND each
+// shared id carries the same wavelength capacity in both states — the two
+// inputs routeLambda's first-fit scan depends on.
+func sameFiberIDs(s, t *State, a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, id := range a {
+		if id != b[i] || s.fiberWaves[id] != t.fiberWaves[b[i]] {
+			return false
+		}
+	}
+	return true
+}
 
 // staticFeasible reports whether a circuit u->v could be provisioned on an
 // empty network (precomputed; see the regenReach field). False means the
@@ -556,7 +694,7 @@ func (s *State) provision(src, dst int, record bool) (*Circuit, error) {
 			c.Segments = append(c.Segments, Segment{FiberIDs: route.ids, Wavelength: lambda, LengthKm: route.km})
 		}
 		if i+1 < len(hops)-1 { // interior node regenerates
-			s.regenFree[v]--
+			s.setRegen(v, s.regenFree[v]-1)
 			if record {
 				c.RegenSites = append(c.RegenSites, v)
 			}
@@ -582,7 +720,7 @@ func (s *State) Release(id int) error {
 		}
 	}
 	for _, r := range c.RegenSites {
-		s.regenFree[r]++
+		s.setRegen(r, s.regenFree[r]+1)
 	}
 	delete(s.circuits, id)
 	return nil
@@ -602,11 +740,17 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 	// Fast path: a direct segment within reach with a free wavelength needs
 	// no regenerator graph at all. This covers the vast majority of circuits
 	// on continental topologies and keeps the annealing energy function fast.
-	if _, l := s.segmentFeasible(src, dst); l >= 0 {
+	if route, l := s.segmentFeasible(src, dst); l >= 0 {
+		if len(route.ids) == 0 || !s.canReach(src, dst) || &route.ids[0] != &s.pairPath[src][dst][0] {
+			// An alternate fiber route answered: the run's decisions now
+			// depend on the alternate tables, not just the primaries.
+			s.directOnly = false
+		}
 		sc := s.scratchBuf()
 		sc.hops = append(sc.hops[:0], src, dst)
 		return sc.hops, nil
 	}
+	s.directOnly = false // this query needs the regenerator graph
 	ns := s.net.NumSites()
 	sc := s.scratchBuf()
 	// Mask fast path (networks of at most 64 sites): run the node-weighted
@@ -615,25 +759,21 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 	// and only fall through to the materialized graph when the shortest
 	// route is not buildable and Yen's enumeration is needed.
 	if s.reachMask != nil {
-		if cap(sc.nodeW) < ns {
-			sc.nodeW = make([]float64, ns)
-		}
-		w := sc.nodeW[:ns]
-		var nodeMask uint64
-		for v := 0; v < ns; v++ {
-			if v == src || v == dst {
-				nodeMask |= 1 << uint(v)
-				w[v] = 0
-			} else if s.regenFree[v] > 0 {
-				nodeMask |= 1 << uint(v)
-				if s.unitRegenWeights {
-					w[v] = 1
-				} else {
-					w[v] = 1/float64(s.regenFree[v]) + 1e-6
-				}
-			}
-		}
+		// The vertex set and weights come straight from the persistent
+		// regenAvail/wRegen caches (maintained at every pool mutation), so
+		// the per-query O(n) rebuild the loop here used to do is gone. The
+		// endpoints join the set for the duration of the query with weight
+		// 0, exactly as the scan set them: w[src] is never read (no
+		// relaxation can beat dist[src] = 0 with non-negative weights) and
+		// w[dst] must be 0. Where the availability bit is clear the cached
+		// weight is stale, but such vertices are outside nodeMask and the
+		// Dijkstra never reads them.
+		w := s.wRegen
+		nodeMask := s.regenAvail[0] | 1<<uint(src) | 1<<uint(dst)
+		wSrc, wDst := w[src], w[dst]
+		w[src], w[dst] = 0, 0
 		hops, ok := graph.MaskShortestNodeWeighted(&sc.sp, s.reachMask, nodeMask, w, src, dst, sc.hops[:0])
+		w[src], w[dst] = wSrc, wDst
 		if !ok {
 			return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
 		}
@@ -644,26 +784,18 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 	} else if s.reachMaskW != nil {
 		// Multi-word twin of the branch above for networks past 64 sites:
 		// identical node weights and relaxation order, so the same route
-		// falls out (see MaskShortestNodeWeightedW).
-		if cap(sc.nodeW) < ns {
-			sc.nodeW = make([]float64, ns)
-		}
-		w := sc.nodeW[:ns]
+		// falls out (see MaskShortestNodeWeightedW). The vertex set is the
+		// persistent availability mask plus the endpoints — a word copy, not
+		// an O(n) scan.
+		w := s.wRegen
 		sc.nodeMaskW = bitset.Grow(sc.nodeMaskW, ns)
-		for v := 0; v < ns; v++ {
-			if v == src || v == dst {
-				sc.nodeMaskW.Set(v)
-				w[v] = 0
-			} else if s.regenFree[v] > 0 {
-				sc.nodeMaskW.Set(v)
-				if s.unitRegenWeights {
-					w[v] = 1
-				} else {
-					w[v] = 1/float64(s.regenFree[v]) + 1e-6
-				}
-			}
-		}
+		sc.nodeMaskW.Copy(s.regenAvail)
+		sc.nodeMaskW.Set(src)
+		sc.nodeMaskW.Set(dst)
+		wSrc, wDst := w[src], w[dst]
+		w[src], w[dst] = 0, 0
 		hops, ok := graph.MaskShortestNodeWeightedW(&sc.sp, s.reachMaskW, s.maskW, sc.nodeMaskW, w, src, dst, sc.hops[:0])
+		w[src], w[dst] = wSrc, wDst
 		if !ok {
 			return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
 		}

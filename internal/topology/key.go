@@ -105,3 +105,31 @@ func MergePatch(dst []Link, base []Link, patch []Link) []Link {
 	}
 	return dst
 }
+
+// DecodeKey parses a key produced by AppendKey / AppendKeyFromLinks back
+// into the site count and the (U, V)-sorted link list, appending the links
+// to dst. ok is false if the bytes are not a well-formed key. This is the
+// inverse the provision-cache migration needs: cached entries are keyed by
+// the encoded topology, and deciding whether an entry survives a network
+// change requires walking its links.
+func DecodeKey(key []byte, dst []Link) (n int, _ []Link, ok bool) {
+	u64, k := binary.Uvarint(key)
+	if k <= 0 {
+		return 0, dst, false
+	}
+	key = key[k:]
+	n = int(u64)
+	for len(key) > 0 {
+		var l Link
+		for _, p := range []*int{&l.U, &l.V, &l.Count} {
+			u64, k = binary.Uvarint(key)
+			if k <= 0 {
+				return 0, dst, false
+			}
+			key = key[k:]
+			*p = int(u64)
+		}
+		dst = append(dst, l)
+	}
+	return n, dst, true
+}

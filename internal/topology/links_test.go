@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"encoding/json"
+	"math/rand"
 	"sort"
 	"testing"
 )
@@ -84,5 +86,107 @@ func TestAppendLinksReusesBuffer(t *testing.T) {
 	}
 	if out3[1] != (Link{U: 0, V: 1, Count: 2}) || out3[2] != (Link{U: 2, V: 3, Count: 1}) {
 		t.Fatalf("AppendLinks appended region wrong: %+v", out3[1:])
+	}
+}
+
+// scratchSorted builds the enumeration the pre-view way — a full map walk
+// plus a from-scratch sort — bypassing the incremental sorted view entirely.
+// It is the reference TestViewMatchesScratchSort compares against.
+func scratchSorted(ls *LinkSet) []Link {
+	out := make([]Link, 0, len(ls.Count))
+	for k, c := range ls.Count {
+		out = append(out, Link{U: k[0], V: k[1], Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// TestViewMatchesScratchSort is the property the incrementally patched view
+// rides on (see the LinkSet.view comment): after ANY sequence of mutations —
+// inserts, count updates, removals down to zero, Clear, Clone, JSON
+// round-trips that replace the map wholesale — the view-backed enumeration is
+// element-identical to a from-scratch sort of the Count map. The check runs
+// after every operation, so a patch that desynchronizes the view is caught at
+// the operation that broke it, not at the end of the walk.
+func TestViewMatchesScratchSort(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 60
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) + 7700))
+		n := 4 + rng.Intn(90)
+		ls := NewLinkSet(n)
+		if rng.Intn(2) == 0 {
+			ls.Links() // half the walks patch the view from the very start
+		}
+		for op := 0; op < 80; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.50: // insert or bump
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				ls.Add(u, v, 1+rng.Intn(3))
+			case r < 0.72: // decrement, sometimes down to removal
+				links := scratchSorted(ls)
+				if len(links) == 0 {
+					continue
+				}
+				l := links[rng.Intn(len(links))]
+				ls.Add(l.U, l.V, -(1 + rng.Intn(l.Count)))
+			case r < 0.78:
+				ls.Clear()
+			case r < 0.85: // continue the walk on a clone; the original must
+				// be unaffected by everything that follows
+				c := ls.Clone()
+				frozen := scratchSorted(ls)
+				old := ls
+				ls = c
+				defer func(old *LinkSet, frozen []Link, seed int) {
+					got := old.AppendLinks(nil)
+					if len(got) != len(frozen) {
+						t.Errorf("seed %d: clone mutations leaked into original (len %d != %d)",
+							seed, len(got), len(frozen))
+						return
+					}
+					for i := range got {
+						if got[i] != frozen[i] {
+							t.Errorf("seed %d: clone mutations leaked into original at %d: %+v != %+v",
+								seed, i, got[i], frozen[i])
+							return
+						}
+					}
+				}(old, frozen, seed)
+			case r < 0.92: // JSON round-trip replaces the map wholesale and
+				// must invalidate the view
+				data, err := json.Marshal(ls)
+				if err != nil {
+					t.Fatalf("seed %d op %d: marshal: %v", seed, op, err)
+				}
+				if err := json.Unmarshal(data, ls); err != nil {
+					t.Fatalf("seed %d op %d: unmarshal: %v", seed, op, err)
+				}
+			default:
+				ls.Links() // build or exercise the view mid-walk
+			}
+			want := scratchSorted(ls)
+			got := ls.AppendLinks(nil)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d op %d: view has %d links, scratch sort %d",
+					seed, op, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d op %d: view[%d] = %+v, scratch sort %+v",
+						seed, op, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }

@@ -129,6 +129,7 @@ func (ls *LinkSet) UnmarshalJSON(b []byte) error {
 	}
 	ls.N = w.N
 	ls.Count = make(map[[2]int]int, len(w.Links))
+	ls.view, ls.viewOK = ls.view[:0], false // the map was replaced wholesale
 	for _, l := range w.Links {
 		if l.U < 0 || l.U >= w.N || l.V < 0 || l.V >= w.N || l.U == l.V || l.Count <= 0 {
 			return fmt.Errorf("topology: bad link %+v", l)

@@ -105,6 +105,17 @@ func (n *Network) TotalPorts() int {
 type LinkSet struct {
 	N     int
 	Count map[[2]int]int
+	// view is the (U, V)-sorted enumeration of Count, maintained
+	// incrementally: built (with one sort) on the first AppendLinks and
+	// patched in place by Add, so steady-state enumeration — the annealing
+	// hot path keys and loads every candidate topology from it — is a plain
+	// copy with no map walk and no sort. The sorted order over distinct
+	// (U, V) keys is unique, so the view is byte-identical to a from-scratch
+	// sort at all times (pinned by TestViewMatchesScratchSort). viewOK is
+	// false until the view is built; mutations that bypass Add must
+	// invalidate it (see Clear and UnmarshalJSON).
+	view   []Link
+	viewOK bool
 }
 
 // NewLinkSet returns an empty link multiset over n routers.
@@ -125,13 +136,44 @@ func (ls *LinkSet) Add(u, v, k int) {
 		panic("topology: self link")
 	}
 	key := canon(u, v)
-	ls.Count[key] += k
-	if ls.Count[key] < 0 {
+	c := ls.Count[key] + k
+	if c < 0 {
 		panic(fmt.Sprintf("topology: negative link count on %v", key))
 	}
-	if ls.Count[key] == 0 {
+	if c == 0 {
 		delete(ls.Count, key)
+	} else {
+		ls.Count[key] = c
 	}
+	if !ls.viewOK {
+		return
+	}
+	// Patch the sorted view: binary-search the pair's slot, then update,
+	// delete, or insert. The view stays exactly the (U, V)-sorted
+	// enumeration of the map.
+	i, found := slices.BinarySearchFunc(ls.view, Link{U: key[0], V: key[1]}, func(a, b Link) int {
+		if a.U != b.U {
+			return a.U - b.U
+		}
+		return a.V - b.V
+	})
+	switch {
+	case found && c == 0:
+		ls.view = append(ls.view[:i], ls.view[i+1:]...)
+	case found:
+		ls.view[i].Count = c
+	case c != 0:
+		ls.view = slices.Insert(ls.view, i, Link{U: key[0], V: key[1], Count: c})
+	}
+}
+
+// Clear removes every link, retaining the map and view buffers. Mutating
+// Count directly would desynchronize the sorted view; this is the supported
+// way to empty a reused LinkSet (optical's effective-topology scratch does).
+func (ls *LinkSet) Clear() {
+	clear(ls.Count)
+	ls.view = ls.view[:0]
+	ls.viewOK = true
 }
 
 // Get returns the number of parallel circuits between u and v.
@@ -149,11 +191,17 @@ func (ls *LinkSet) Degree(v int) int {
 	return d
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. A built sorted view is copied too: annealing
+// neighbors clone and then apply a few Adds, so the clone's enumerations
+// stay sort-free.
 func (ls *LinkSet) Clone() *LinkSet {
 	c := NewLinkSet(ls.N)
 	for k, v := range ls.Count {
 		c.Count[k] = v
+	}
+	if ls.viewOK {
+		c.view = append([]Link(nil), ls.view...)
+		c.viewOK = true
 	}
 	return c
 }
@@ -182,20 +230,24 @@ func (ls *LinkSet) Links() []Link {
 // buf[:0] of a retained buffer makes the enumeration allocation-free once
 // the buffer has grown to the topology's link count, which is what the flat
 // allocators in internal/alloc and internal/optical rely on in the
-// annealing energy hot path.
+// annealing energy hot path. The first call builds the sorted view (one map
+// walk and one sort); every later call — and every call on a Clone, however
+// many Adds happened in between — is a plain copy.
 func (ls *LinkSet) AppendLinks(buf []Link) []Link {
-	start := len(buf)
-	for k, c := range ls.Count {
-		buf = append(buf, Link{U: k[0], V: k[1], Count: c})
-	}
-	out := buf[start:]
-	slices.SortFunc(out, func(a, b Link) int {
-		if a.U != b.U {
-			return a.U - b.U
+	if !ls.viewOK {
+		ls.view = ls.view[:0]
+		for k, c := range ls.Count {
+			ls.view = append(ls.view, Link{U: k[0], V: k[1], Count: c})
 		}
-		return a.V - b.V
-	})
-	return buf
+		slices.SortFunc(ls.view, func(a, b Link) int {
+			if a.U != b.U {
+				return a.U - b.U
+			}
+			return a.V - b.V
+		})
+		ls.viewOK = true
+	}
+	return append(buf, ls.view...)
 }
 
 // TotalCircuits returns the number of circuits summed over all links.
