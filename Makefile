@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare bench-json bench-smoke temper faults loadgen-smoke check
+.PHONY: build vet test race bench bench-compare bench-json bench-smoke temper claims faults loadgen-smoke check
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,9 @@ bench-compare:
 # >64-site ISP100/ISP200-class energy and annealing benchmarks — and writes
 # the results as a JSON map (name -> ns/op, allocs/op; schema in DESIGN.md
 # §8) so the numbers can be committed and diffed across PRs.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
-	sh scripts/benchjson.sh 'BenchmarkAnneal|BenchmarkEnergyISP' $(BENCH_JSON) './...'
+	sh scripts/benchjson.sh 'BenchmarkAnneal|BenchmarkEnergyISP|BenchmarkProvisionTopology|BenchmarkClaimRepair' $(BENCH_JSON) './...'
 
 # bench-smoke compiles and runs every benchmark exactly once — a fast CI
 # guard that the benchmark harness itself keeps working. internal/core
@@ -42,6 +42,15 @@ bench-json:
 # carries the annealing-engine ones (AnnealISP100/AnnealISP200).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/core
+
+# claims replays the PR 9 incremental-engine differentials with the test
+# cache defeated: the claim-tree repair store against cold rebuilds, the
+# wavelength-availability index against the from-scratch occupancy scan, and
+# the alternate-tier provision-cache migration against cold provisioning.
+claims:
+	$(GO) test -count=1 \
+		-run 'TestClaimRepairDifferential|TestClaimReuseMatchesReference|TestLambdaIndexMatchesOccupancy|TestWithoutFiberAlternateCacheMigration' \
+		./internal/alloc/ ./internal/optical/ ./internal/core/
 
 # temper replays the committed 300-seed golden digests: the refactored
 # search loop in compat mode (Replicas=1, WarmStart=false) must reproduce
@@ -76,4 +85,4 @@ loadgen-smoke:
 # internal tests (including the delta differential harnesses), the
 # tempering golden differential, a one-shot benchmark smoke, the seeded
 # fault-injection matrix, and the admission load-generator smoke.
-check: build vet test race temper bench-smoke faults loadgen-smoke
+check: build vet test race temper claims bench-smoke faults loadgen-smoke

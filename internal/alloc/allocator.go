@@ -162,6 +162,27 @@ type Allocator struct {
 	labeledW    []uint64 // mw, per-search scratch
 	forceScalar bool
 
+	// Claim-tree store (mask paths; see the claim-repair comment in
+	// bidi.go). claimSearch persists the canonical BFS tree it builds —
+	// labeling order (cQueue), level boundaries (cEnds), labeled bitmap
+	// (cVis/cVisW), last complete level (cDepth) — per source, alongside the
+	// prev chains already living in the per-source prevNE rows. A later
+	// claim from the same source answers from the stored tree when dst's
+	// prev chain is still fully live, repairs just the subtree below the
+	// shallowest saturated tree edge when it is not, and resumes a truncated
+	// sweep where it stopped when dst lies beyond the stored levels. cGen
+	// stamps validity the same way rowGen does for the probe rows: a tree is
+	// live iff cGen[src] > loadGen. noClaimReuse is the differential knob
+	// that forces every claim onto a cold rebuild (bit-identical results,
+	// asserted by the 300-seed claim-repair differential).
+	cQueue       []int32 // n*n: per-source canonical labeling order
+	cEnds        []int32 // n*(n+1): per-source level boundaries, ends[d] = one past level d
+	cDepth       []int32 // per source: last complete level
+	cVis         []uint64
+	cVisW        []uint64 // n*mw multi-word twin of cVis
+	cGen         []int32
+	noClaimReuse bool
+
 	// Resumable sweep rows (see bidi.go): per-source visited and frontier
 	// bitmaps plus the last completed level, so a suspended stamp sweep
 	// picks up where it stopped instead of re-walking the component. One
@@ -182,6 +203,17 @@ type Allocator struct {
 	bIDsS, bIDsD []int32
 	bLvS, bLvD   []int64
 	bGen         int32
+
+	// Per-source persisted sparse frontier (resumeStampWd): when a sweep
+	// suspends on a frontier of at most bSparse nodes, its compact id list
+	// survives here so the next resume re-enters sparse enumeration instead
+	// of paying a word sweep to rediscover what the last level already
+	// collected. A slot is valid only while sFrGen matches the row's
+	// generation; every Wd suspension rewrites it, so a reinitialized row
+	// can never resurrect a stale list.
+	sFrIDs []int32 // n*bSparse: persisted frontier ids
+	sFrCnt []int32 // per source: persisted frontier size, 0 = none/dense
+	sFrGen []int32 // per source: rowGen at persist time
 
 	// stat counts engine events at call granularity (see engineStats); the
 	// differential harnesses read it to prove the paths they force actually
@@ -262,6 +294,12 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		for i := range a.rowGen {
 			a.rowGen[i] = 0
 		}
+		for i := range a.cGen {
+			a.cGen[i] = 0
+		}
+		for i := range a.sFrGen {
+			a.sFrGen[i] = 0
+		}
 		a.gen = 0
 	}
 	if cap(a.probeFull) < n {
@@ -304,6 +342,12 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		a.bIDsS = grow32(a.bIDsS, n)[:0]
 		a.bIDsD = grow32(a.bIDsD, n)[:0]
 		a.sLevel = grow32(a.sLevel, n)
+		// Claim-tree rows need no clearing: cGen gates every read, and a
+		// stale stamp can never exceed the fresh loadGen (see rowGen).
+		a.cQueue = grow32(a.cQueue, n*n)
+		a.cEnds = grow32(a.cEnds, n*(n+1))
+		a.cDepth = grow32(a.cDepth, n)
+		a.cGen = grow32(a.cGen, n)
 	}
 	if a.useMask && !a.wide {
 		if cap(a.liveAdj) < n {
@@ -323,6 +367,7 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		// validates rowGen and (re)initializes it.
 		a.sVis = growU(a.sVis, n)
 		a.sFront = growU(a.sFront, n)
+		a.cVis = growU(a.cVis, n)
 	}
 	if a.wide {
 		mw := bitset.Words(n)
@@ -344,6 +389,10 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 		a.bNext = growU(a.bNext, mw)
 		a.sVis = growU(a.sVis, n*mw)
 		a.sFront = growU(a.sFront, n*mw)
+		a.cVisW = growU(a.cVisW, n*mw)
+		a.sFrIDs = grow32(a.sFrIDs, n*bSparse)
+		a.sFrCnt = grow32(a.sFrCnt, n)
+		a.sFrGen = grow32(a.sFrGen, n)
 	}
 	// Filling in link-enumeration order reproduces the reference
 	// implementation's per-site neighbor order exactly.
@@ -379,6 +428,12 @@ func (a *Allocator) loadFromLinks(n int, theta float64) {
 // that measures the masks' speedup and cross-checks their correctness. It
 // takes effect at the next load.
 func (a *Allocator) SetScalarFallback(on bool) { a.forceScalar = on }
+
+// SetClaimReuse toggles claim-tree reuse across takes (on by default; mask
+// paths only). Off forces every claim search onto a cold rebuild — results
+// are bit-identical either way, only wall-clock differs — which is the knob
+// the claim-repair differential suite flips. It takes effect immediately.
+func (a *Allocator) SetClaimReuse(on bool) { a.noClaimReuse = !on }
 
 // SetBase retains the enumeration of a base topology for subsequent
 // ThroughputPatched calls. The LinkSet is only read during this call.

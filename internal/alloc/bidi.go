@@ -103,15 +103,18 @@ import (
 //     sides in earlier rounds, and whichever side labeled u second saw the
 //     meet then and returned. Both contradict d < min(c).
 //
-//   - Claimed paths are bit-identical. claimSearch rebuilds the prev chains
-//     from scratch on the current residuals in the canonical scan order;
-//     that fresh tree is identical to the one the canonical flow would have
-//     claimed from (whether memoized or freshly searched): a live memo tree
-//     differs from a fresh search only by edges that saturated since it was
-//     built, and those are all non-tree edges — edges a BFS skipped because
-//     their head was already labeled earlier in scan order, whose removal
-//     changes neither labels, order, nor parents (the same argument that
-//     makes the rowLive memo exact in the first place).
+//   - Claimed paths are bit-identical. claimSearch builds prev chains on the
+//     current residuals in the canonical scan order, and what it builds is
+//     identical to the tree the canonical flow would have claimed from
+//     (whether memoized or freshly searched): a live memo tree differs from
+//     a fresh search only by edges that saturated since it was built, and
+//     those are all non-tree edges — edges a BFS skipped because their head
+//     was already labeled earlier in scan order, whose removal changes
+//     neither labels, order, nor parents (the same argument that makes the
+//     rowLive memo exact in the first place). Since PR 9 the claim engines
+//     additionally PERSIST the tree they build and repair it across takes
+//     instead of rebuilding per call — see the claim-repair comment above
+//     claimSearch for why the reused answers are the fresh ones bit for bit.
 //
 // The resumable rows carry no prev chains, so the source's rowLive bit is
 // cleared when one is started: probe may read the stamps, the claim-capable
@@ -130,6 +133,9 @@ type engineStats struct {
 	resumeBound   uint64 // free truncation-bound answers (no expansion)
 	claim         uint64 // claimSearch calls
 	claimCut      uint64 // claim searches that exhausted (failure cut)
+	claimFast     uint64 // claims answered from a stored chain, no search
+	claimRepair   uint64 // tree resumes above a saturated tree edge
+	claimResume   uint64 // tree extensions past the stored levels
 	bidi          uint64 // searchBounded calls
 	bidiMeetS     uint64 // meets detected while expanding the src side
 	bidiMeetD     uint64 // meets detected while expanding the dst side
@@ -141,22 +147,42 @@ type engineStats struct {
 }
 
 // noteSweep folds one resumeStampWd call's per-level enumeration modes into
-// the sweep counters.
-func (a *Allocator) noteSweep(usedSparse, usedDense bool) {
+// the sweep counters. crossed reports that the sweep crossed the bSparse
+// threshold — between two levels of this call, or between the persisted
+// entry mode and the frontier the call left behind (tier-truncated sweeps
+// mostly advance one level per call, so the crossing usually straddles a
+// suspension).
+func (a *Allocator) noteSweep(usedSparse, usedDense, crossed bool) {
 	if usedSparse {
 		a.stat.sweepSparse++
 	}
 	if usedDense {
 		a.stat.sweepDense++
 	}
-	if usedSparse && usedDense {
+	if crossed {
 		a.stat.sweepMixed++
 	}
 }
 
+// suspendSparse persists a suspended frontier's compact id list when it is
+// small enough to re-enter sparse enumeration on the next resume, and
+// invalidates the slot otherwise. The slot is stamped with the row's
+// generation, so a row that is later reinitialized (new load, gen wrap)
+// can never resurrect a stale list.
+func (a *Allocator) suspendSparse(src, cnt int, ids []int32) {
+	if cnt > 0 && cnt <= bSparse {
+		copy(a.sFrIDs[src*bSparse:], ids)
+		a.sFrCnt[src] = int32(cnt)
+		a.sFrGen[src] = a.rowGen[src]
+		return
+	}
+	a.sFrCnt[src] = 0
+}
+
 // resumeStamp answers "at how many hops, at least, is dst?" from src's
 // resumable sweep row, starting one if the source has none this load and
-// advancing it only as far as dst. It reports unreachability exactly (the
+// advancing it only as far as dst or the asking tier, whichever comes
+// first. It reports unreachability exactly (the
 // sweep ran the component to exhaustion) and otherwise a sound lower bound
 // on the current hop count — exact at the moment dst's level was stamped.
 // Two zero-expansion exits: a dst the row already stamped answers from the
@@ -230,14 +256,27 @@ func (a *Allocator) resumeStamp1(src, dst, l int) (bool, int) {
 			a.stat.resumeExhaust++
 			return false, 0
 		}
+		if int(d) >= l {
+			// The asking tier is answered: dst is beyond every completed
+			// level, so d(src,dst) >= d+1 > l. Suspend here instead of
+			// sweeping on to dst — the caller defers the demand to tier d+1,
+			// where the next resume picks up from this frontier, so no level
+			// is ever expanded twice and levels beyond the deferral tier are
+			// paid only if a demand actually asks for them.
+			a.sVis[src], a.sFront[src], a.sLevel[src] = vis, fr, int32(d)
+			a.stat.resumeBound++
+			return true, int(d) + 1
+		}
 	}
 }
 
 // resumeStampWd is the multi-word twin of resumeStamp1. Frontier members are
-// enumerated from the compact id list collected by the previous level of
-// this call while it holds at most bSparse nodes, and by sweeping the
-// frontier bitmap's words otherwise (always on the first level after a
-// resume — the bitmap is the state that persists across suspensions).
+// enumerated from the compact id list collected by the previous level while
+// it holds at most bSparse nodes, and by sweeping the frontier bitmap's
+// words otherwise. The id list survives suspensions: a sweep that suspends
+// on a sparse frontier persists the list next to the bitmap (suspendSparse),
+// so the next resume re-enters sparse enumeration directly instead of
+// paying a word sweep to rediscover what the last level already collected.
 func (a *Allocator) resumeStampWd(src, dst, l int) (bool, int) {
 	mw, n := a.mw, a.n
 	adj := a.liveAdjW
@@ -269,7 +308,12 @@ func (a *Allocator) resumeStampWd(src, dst, l int) (bool, int) {
 	nf := a.bNext[:mw]
 	ids := a.bIDsS[:0]
 	sparse := false
+	if c := a.sFrCnt[src]; c > 0 && a.sFrGen[src] == a.rowGen[src] {
+		ids = append(ids, a.sFrIDs[src*bSparse:src*bSparse+int(c)]...)
+		sparse = true
+	}
 	usedSparse, usedDense := false, false
+	crossed := false
 	for {
 		clear(nf)
 		if sparse {
@@ -314,19 +358,32 @@ func (a *Allocator) resumeStampWd(src, dst, l int) (bool, int) {
 		}
 		copy(fr, nf)
 		a.sLevel[src] = int32(d)
+		if cnt > 0 && (cnt <= bSparse) != sparse {
+			crossed = true
+		}
 		sparse = cnt <= bSparse
 		if vis[dw]>>db&1 == 1 {
+			a.suspendSparse(src, cnt, ids)
 			a.bIDsS = ids[:0]
-			a.noteSweep(usedSparse, usedDense)
+			a.noteSweep(usedSparse, usedDense, crossed)
 			return true, int(d)
 		}
 		if cnt == 0 {
+			a.sFrCnt[src] = 0
 			a.bIDsS = ids[:0]
 			a.probeFull[src] = true
 			a.recordCutMaskW(vis)
-			a.noteSweep(usedSparse, usedDense)
+			a.noteSweep(usedSparse, usedDense, crossed)
 			a.stat.resumeExhaust++
 			return false, 0
+		}
+		if int(d) >= l {
+			// Tier answered (see resumeStamp1): suspend rather than sweep on.
+			a.suspendSparse(src, cnt, ids)
+			a.bIDsS = ids[:0]
+			a.noteSweep(usedSparse, usedDense, crossed)
+			a.stat.resumeBound++
+			return true, int(d) + 1
 		}
 	}
 }
@@ -422,6 +479,48 @@ func (a *Allocator) resumeStamp4(src, dst, l int) (bool, int) {
 		vis1 |= cur1
 		vis2 |= cur2
 		vis3 |= cur3
+		var curDst uint64
+		switch dw {
+		case 0:
+			curDst = cur0
+		case 1:
+			curDst = cur1
+		case 2:
+			curDst = cur2
+		default:
+			curDst = cur3
+		}
+		hit := curDst>>db&1 == 1
+		if hit || int(d) >= l {
+			// Suspension exit — dst labels in this level, or the asking tier
+			// is answered (dst beyond every completed level, so d(src,dst)
+			// >= d+1 > l; see resumeStamp1). Either way the level is stamped
+			// WITHOUT expanding: the raw neighbor union is discarded on
+			// return — the stored frontier is cur itself, and the next
+			// resume re-derives the union from it — so this level's
+			// adjacency ORs would be pure waste, and on small-diameter
+			// graphs the last level is most of the component.
+			for m := cur0; m != 0; m &= m - 1 {
+				sd[bits.TrailingZeros64(m)] = lv
+			}
+			for m := cur1; m != 0; m &= m - 1 {
+				sd[64+bits.TrailingZeros64(m)] = lv
+			}
+			for m := cur2; m != 0; m &= m - 1 {
+				sd[128+bits.TrailingZeros64(m)] = lv
+			}
+			for m := cur3; m != 0; m &= m - 1 {
+				sd[192+bits.TrailingZeros64(m)] = lv
+			}
+			svis[0], svis[1], svis[2], svis[3] = vis0, vis1, vis2, vis3
+			sfr[0], sfr[1], sfr[2], sfr[3] = cur0, cur1, cur2, cur3
+			a.sLevel[src] = int32(d)
+			if hit {
+				return true, int(d)
+			}
+			a.stat.resumeBound++
+			return true, int(d) + 1
+		}
 		nf0, nf1, nf2, nf3 = 0, 0, 0, 0
 		for m := cur0; m != 0; m &= m - 1 {
 			w := bits.TrailingZeros64(m)
@@ -459,23 +558,6 @@ func (a *Allocator) resumeStamp4(src, dst, l int) (bool, int) {
 			nf2 |= adj[r+2]
 			nf3 |= adj[r+3]
 		}
-		var visDst uint64
-		switch dw {
-		case 0:
-			visDst = vis0
-		case 1:
-			visDst = vis1
-		case 2:
-			visDst = vis2
-		default:
-			visDst = vis3
-		}
-		if visDst>>db&1 == 1 {
-			svis[0], svis[1], svis[2], svis[3] = vis0, vis1, vis2, vis3
-			sfr[0], sfr[1], sfr[2], sfr[3] = cur0, cur1, cur2, cur3
-			a.sLevel[src] = int32(d)
-			return true, int(d)
-		}
 	}
 }
 
@@ -484,34 +566,160 @@ func (a *Allocator) resumeStamp4(src, dst, l int) (bool, int) {
 // hop count, touching neither the stamps nor any memo book — the source's
 // resumable row survives the claim. Scan order is canonical, so the chain is
 // bit-identical to the one shortestResidual would leave.
+//
+// Claim-tree repair. Each search persists the tree it builds — the labeling
+// order (cQueue), the level boundaries (cEnds), the labeled bitmap
+// (cVis/cVisW) and the last complete level (cDepth) — so later claims from
+// the same source reuse it instead of starting over:
+//
+//   - Chain fast path: if the stored tree labeled dst and every edge of
+//     dst's stored prev chain still has positive residual, the chain IS the
+//     answer — no search at all. Capacities only decrease within a run, so
+//     live-now means the chain avoided every saturation since the tree was
+//     built; such a chain is preserved verbatim by a fresh search (any
+//     competitor for a clean node's parent sat at the same level before the
+//     deletions — neighbor levels are within one hop and levels never
+//     decrease when edges leave — so the lex-minimal parent, itself clean by
+//     induction up the chain, stays the minimum), and its length is dst's
+//     exact current hop count. This is also what makes same-source demand
+//     batches cheap: every demand sharing the source rides one stored tree
+//     until a take actually cuts the chain it needs.
+//
+//   - Subtree repair: otherwise the queue prefix up to the level ABOVE the
+//     shallowest saturated tree edge is still exactly what a fresh search
+//     would produce (levels, membership, order and parents — the same
+//     argument as above applied level by level), so the search resumes by
+//     re-expanding that level's stored frontier rather than from src. Only
+//     the subtree hanging below the saturated edge — plus whatever shared
+//     its levels — is rebuilt.
+//
+//   - Extension: a tree whose chains are all intact but which stopped (an
+//     early exit at a shallower dst) before reaching this dst resumes from
+//     its last complete level, paying only the levels it never built.
+//
+// A saturated NON-tree edge triggers none of this — the resume-point scan
+// checks exactly the stored prev edges, which is the rowLive/usedBy
+// criterion applied lazily at claim time instead of eagerly at take time.
+// Validity rides on cGen (a tree is live iff cGen[src] > loadGen), and
+// every claim this engine answers — fast path, repaired, resumed or cold —
+// is bit-identical to a from-scratch claimSearch, which the claim-repair
+// differential suite asserts over 300 seeds with the reuse knob flipped.
 func (a *Allocator) claimSearch(src, dst int) (bool, int) {
 	if a.cutHit(src, dst) {
 		return false, 0
 	}
 	a.stat.claim++
+	F := 0
+	if !a.noClaimReuse && a.cGen[src] > a.loadGen {
+		if ok, hops := a.claimFastPath(src, dst); ok {
+			a.stat.claimFast++
+			return true, hops
+		}
+		F = a.claimResumePoint(src)
+		if F < int(a.cDepth[src]) {
+			a.stat.claimRepair++
+		} else {
+			a.stat.claimResume++
+		}
+	} else {
+		// Cold build: seed the stored tree with its level 0.
+		a.cQueue[src*a.n] = int32(src)
+		a.cEnds[src*(a.n+1)] = 1
+	}
 	if a.wide {
 		if a.mw == 4 {
-			return a.claimSearch4(src, dst)
+			return a.claimSearch4(src, dst, F)
 		}
-		return a.claimSearchWd(src, dst)
+		return a.claimSearchWd(src, dst, F)
 	}
-	return a.claimSearch1(src, dst)
+	return a.claimSearch1(src, dst, F)
 }
 
-// claimSearch1 is the single-word (n <= 64) stealth claim search.
-func (a *Allocator) claimSearch1(src, dst int) (bool, int) {
+// claimFastPath answers a claim from src's stored tree when dst is labeled
+// there and its stored prev chain is fully live (every edge above resEps —
+// the criterion under which claimSearch documents the chain is exactly what
+// a fresh search would claim). The walk doubles as the hop count.
+func (a *Allocator) claimFastPath(src, dst int) (bool, int) {
+	if a.wide {
+		if a.cVisW[src*a.mw+dst>>6]>>uint(dst&63)&1 == 0 {
+			return false, 0
+		}
+	} else if a.cVis[src]>>uint(dst)&1 == 0 {
+		return false, 0
+	}
+	caps := a.caps
+	prevNE := a.prevNE[src*a.n : src*a.n+a.n]
+	hops := 0
+	for v := int32(dst); int(v) != src; {
+		pv := prevNE[v]
+		if caps[int32(pv>>32)] <= resEps {
+			return false, 0
+		}
+		v = int32(pv)
+		hops++
+	}
+	return true, hops
+}
+
+// claimResumePoint scans src's stored labeling order — which is level order
+// — for the first node whose stored prev edge has saturated, and returns the
+// level above it: the deepest level at which the stored tree is still
+// guaranteed to match a fresh search node for node (levels strictly above
+// the shallowest dirty node are preserved verbatim by edge deletions; see
+// claimSearch). A node whose whole chain is dirty but whose own prev edge is
+// live is caught through its ancestor, which sits earlier in the scan. With
+// no dirty node the stored tree stands in full and the search just extends
+// it from its last complete level. Nodes of the partial level beyond cDepth
+// are not scanned: any resume re-derives them anyway.
+func (a *Allocator) claimResumePoint(src int) int {
+	n := a.n
+	caps := a.caps
+	prevNE := a.prevNE[src*n : src*n+n]
+	cq := a.cQueue[src*n : src*n+n]
+	ce := a.cEnds[src*(n+1) : src*(n+1)+n+1]
+	depth := int(a.cDepth[src])
+	d := 1
+	for i := 1; i < int(ce[depth]); i++ {
+		if i == int(ce[d]) {
+			d++
+		}
+		if caps[int32(prevNE[cq[i]]>>32)] <= resEps {
+			return d - 1
+		}
+	}
+	return depth
+}
+
+// claimSearch1 is the single-word (n <= 64) stealth claim search, resuming
+// from level F of src's stored tree (F = 0 is a cold build; the dispatcher
+// seeds queue[0] and ends[0]). The kept queue prefix IS the canonical
+// labeling order up to level F; labels are rebuilt from it, so discarded
+// deeper levels leave no trace, and the queue grows in place in the stored
+// per-source row — suspending the tree costs only the bitmap, depth and gen
+// stores at the exits.
+func (a *Allocator) claimSearch1(src, dst, F int) (bool, int) {
 	adj := a.liveAdj
 	n := a.n
 	edgeOf := a.edgeOf
 	prevNE := a.prevNE[src*n : src*n+n]
-	q := append(a.queue[:0], int32(src))
-	labeled := uint64(1) << uint(src)
-	depth := 0
-	levelEnd := 1
-	for head := 0; head < len(q); head++ {
+	ce := a.cEnds[src*(n+1) : src*(n+1)+n+1]
+	cq := a.cQueue[src*n : src*n+n : src*n+n]
+	q := cq[:ce[F]]
+	var labeled uint64
+	for _, v := range q {
+		labeled |= 1 << uint(v)
+	}
+	head := 0
+	if F > 0 {
+		head = int(ce[F-1])
+	}
+	depth := F
+	levelEnd := len(q)
+	for ; head < len(q); head++ {
 		if head == levelEnd {
 			depth++
 			levelEnd = len(q)
+			ce[depth] = int32(levelEnd)
 		}
 		v := q[head]
 		vLow := int64(v)
@@ -521,33 +729,49 @@ func (a *Allocator) claimSearch1(src, dst int) (bool, int) {
 			w := int32(bits.TrailingZeros64(nw))
 			prevNE[w] = int64(edgeOf[int(v)*n+int(w)])<<32 | vLow
 			if int(w) == dst {
-				a.queue = q
+				// Bits of nw above dst were OR'd into labeled but never
+				// given prev entries; the stored bitmap must not claim
+				// them (the fast path walks prev chains on its say-so).
+				a.cVis[src] = labeled &^ (nw & (nw - 1))
+				a.cDepth[src] = int32(depth)
+				a.cGen[src] = a.gen
 				return true, depth + 1
 			}
 			q = append(q, w)
 		}
 	}
-	a.queue = q
+	a.cVis[src] = labeled
+	a.cDepth[src] = int32(depth)
+	a.cGen[src] = a.gen
 	a.recordCutMask(labeled)
 	a.stat.claimCut++
 	return false, 0
 }
 
 // claimSearchWd is the multi-word twin of claimSearch1.
-func (a *Allocator) claimSearchWd(src, dst int) (bool, int) {
+func (a *Allocator) claimSearchWd(src, dst, F int) (bool, int) {
 	mw, n := a.mw, a.n
 	edgeOf := a.edgeOf
 	lab := a.labeledW[:mw]
 	clear(lab)
-	lab[src>>6] = 1 << uint(src&63)
 	prevNE := a.prevNE[src*n : src*n+n]
-	q := append(a.queue[:0], int32(src))
-	depth := 0
-	levelEnd := 1
-	for head := 0; head < len(q); head++ {
+	ce := a.cEnds[src*(n+1) : src*(n+1)+n+1]
+	cq := a.cQueue[src*n : src*n+n : src*n+n]
+	q := cq[:ce[F]]
+	for _, v := range q {
+		lab[v>>6] |= 1 << uint(v&63)
+	}
+	head := 0
+	if F > 0 {
+		head = int(ce[F-1])
+	}
+	depth := F
+	levelEnd := len(q)
+	for ; head < len(q); head++ {
 		if head == levelEnd {
 			depth++
 			levelEnd = len(q)
+			ce[depth] = int32(levelEnd)
 		}
 		v := q[head]
 		vLow := int64(v)
@@ -563,46 +787,73 @@ func (a *Allocator) claimSearchWd(src, dst int) (bool, int) {
 				w := int32(base + bits.TrailingZeros64(nw))
 				prevNE[w] = int64(edgeOf[int(v)*n+int(w)])<<32 | vLow
 				if int(w) == dst {
-					a.queue = q
+					// Bits of nw above dst never got prev entries; the
+					// stored bitmap must not claim them.
+					lab[wi] &^= nw & (nw - 1)
+					copy(a.cVisW[src*mw:src*mw+mw], lab)
+					a.cDepth[src] = int32(depth)
+					a.cGen[src] = a.gen
 					return true, depth + 1
 				}
 				q = append(q, w)
 			}
 		}
 	}
-	a.queue = q
+	copy(a.cVisW[src*mw:src*mw+mw], lab)
+	a.cDepth[src] = int32(depth)
+	a.cGen[src] = a.gen
 	a.recordCutMaskW(lab)
 	a.stat.claimCut++
 	return false, 0
 }
 
+// claimStore4 writes the mw == 4 claim search's labels, last complete level
+// and validity stamp back into src's stored tree (the queue and level
+// boundaries already grew in place).
+func (a *Allocator) claimStore4(src, depth int, lab0, lab1, lab2, lab3 uint64) {
+	row := a.cVisW[src*4 : src*4+4]
+	row[0], row[1], row[2], row[3] = lab0, lab1, lab2, lab3
+	a.cDepth[src] = int32(depth)
+	a.cGen[src] = a.gen
+}
+
 // claimSearch4 is claimSearchWd specialized to mw == 4: the visited bitmap
 // lives in four registers and the per-node word loop is unrolled, with the
 // same FIFO scan order and therefore the same prev chains.
-func (a *Allocator) claimSearch4(src, dst int) (bool, int) {
+func (a *Allocator) claimSearch4(src, dst, F int) (bool, int) {
 	const mw = 4
 	n := a.n
 	adj := a.liveAdjW
 	edgeOf := a.edgeOf
 	prevNE := a.prevNE[src*n : src*n+n]
-	q := append(a.queue[:0], int32(src))
+	ce := a.cEnds[src*(n+1) : src*(n+1)+n+1]
+	cq := a.cQueue[src*n : src*n+n : src*n+n]
+	q := cq[:ce[F]]
 	var lab0, lab1, lab2, lab3 uint64
-	switch src >> 6 {
-	case 0:
-		lab0 = 1 << uint(src&63)
-	case 1:
-		lab1 = 1 << uint(src&63)
-	case 2:
-		lab2 = 1 << uint(src&63)
-	default:
-		lab3 = 1 << uint(src&63)
+	for _, vv := range q {
+		v := int(vv)
+		switch v >> 6 {
+		case 0:
+			lab0 |= 1 << uint(v&63)
+		case 1:
+			lab1 |= 1 << uint(v&63)
+		case 2:
+			lab2 |= 1 << uint(v&63)
+		default:
+			lab3 |= 1 << uint(v&63)
+		}
 	}
-	depth := 0
-	levelEnd := 1
-	for head := 0; head < len(q); head++ {
+	head := 0
+	if F > 0 {
+		head = int(ce[F-1])
+	}
+	depth := F
+	levelEnd := len(q)
+	for ; head < len(q); head++ {
 		if head == levelEnd {
 			depth++
 			levelEnd = len(q)
+			ce[depth] = int32(levelEnd)
 		}
 		v := int(q[head])
 		vLow := int64(v)
@@ -614,7 +865,9 @@ func (a *Allocator) claimSearch4(src, dst int) (bool, int) {
 			w := bits.TrailingZeros64(nw0)
 			prevNE[w] = int64(edgeOf[en+w])<<32 | vLow
 			if w == dst {
-				a.queue = q
+				// Bits above dst in this word never got prev entries;
+				// strip them from the stored bitmap (likewise below).
+				a.claimStore4(src, depth, lab0&^(nw0&(nw0-1)), lab1, lab2, lab3)
 				return true, depth + 1
 			}
 			q = append(q, int32(w))
@@ -625,7 +878,7 @@ func (a *Allocator) claimSearch4(src, dst int) (bool, int) {
 			w := 64 + bits.TrailingZeros64(nw1)
 			prevNE[w] = int64(edgeOf[en+w])<<32 | vLow
 			if w == dst {
-				a.queue = q
+				a.claimStore4(src, depth, lab0, lab1&^(nw1&(nw1-1)), lab2, lab3)
 				return true, depth + 1
 			}
 			q = append(q, int32(w))
@@ -636,7 +889,7 @@ func (a *Allocator) claimSearch4(src, dst int) (bool, int) {
 			w := 128 + bits.TrailingZeros64(nw2)
 			prevNE[w] = int64(edgeOf[en+w])<<32 | vLow
 			if w == dst {
-				a.queue = q
+				a.claimStore4(src, depth, lab0, lab1, lab2&^(nw2&(nw2-1)), lab3)
 				return true, depth + 1
 			}
 			q = append(q, int32(w))
@@ -647,13 +900,13 @@ func (a *Allocator) claimSearch4(src, dst int) (bool, int) {
 			w := 192 + bits.TrailingZeros64(nw3)
 			prevNE[w] = int64(edgeOf[en+w])<<32 | vLow
 			if w == dst {
-				a.queue = q
+				a.claimStore4(src, depth, lab0, lab1, lab2, lab3&^(nw3&(nw3-1)))
 				return true, depth + 1
 			}
 			q = append(q, int32(w))
 		}
 	}
-	a.queue = q
+	a.claimStore4(src, depth, lab0, lab1, lab2, lab3)
 	lab := a.labeledW[:mw]
 	lab[0], lab[1], lab[2], lab[3] = lab0, lab1, lab2, lab3
 	a.recordCutMaskW(lab)

@@ -1,0 +1,137 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"owan/internal/topology"
+)
+
+// TestClaimRepairDifferential is the claim-tree reuse differential: the same
+// mixed-width case stream (single-word, generic multi-word, and four-word
+// register engines) run through an allocator with claim reuse on and one with
+// the knob forcing every claim onto a cold rebuild. The allocation maps must
+// agree path for path and rate for rate — cold rebuilds are the from-scratch
+// claimSearch the other suites pin against the reference, so equality here is
+// exactly "repaired tree == fresh claimSearch". Both allocators persist
+// across seeds, so stale trees from a previous load's topology are also in
+// play (cGen must fence them off).
+func TestClaimRepairDifferential(t *testing.T) {
+	reuse, cold := NewAllocator(), NewAllocator()
+	cold.SetClaimReuse(false)
+	seeds := int64(300)
+	if testing.Short() {
+		seeds = 60
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed + 90000))
+		var (
+			ls    *topology.LinkSet
+			ds    []Demand
+			theta float64
+		)
+		switch seed % 3 {
+		case 0:
+			ls, ds, theta = randomCase(rng)
+		case 1:
+			ls, ds, theta = randomWideCase(rng)
+		default:
+			ls, ds, theta = randomQuadCase(rng)
+		}
+		sameResult(t, seed, cold.Greedy(ls, theta, ds), reuse.Greedy(ls, theta, ds))
+	}
+	st := &reuse.stat
+	rebuilds := st.claim - st.claimFast - st.claimRepair - st.claimResume
+	t.Logf("claim stats: calls=%d fast=%d repair=%d resume=%d cold=%d",
+		st.claim, st.claimFast, st.claimRepair, st.claimResume, rebuilds)
+	for _, c := range []struct {
+		name string
+		n    uint64
+	}{
+		{"chain fast-path answers", st.claimFast},
+		{"subtree repairs", st.claimRepair},
+		{"tree extensions", st.claimResume},
+		{"cold rebuilds", rebuilds},
+	} {
+		if c.n == 0 {
+			t.Errorf("no %s across the run — the path was never exercised", c.name)
+		}
+	}
+	if cs := &cold.stat; cs.claimFast != 0 || cs.claimRepair != 0 || cs.claimResume != 0 {
+		t.Errorf("reuse knob off still reused trees: fast=%d repair=%d resume=%d",
+			cs.claimFast, cs.claimRepair, cs.claimResume)
+	}
+}
+
+// TestClaimReuseMatchesReference anchors the reuse path directly against the
+// map-based reference on the narrow single-word engine, where randomCase's
+// tiny dense graphs produce the most takes per tree and therefore the most
+// repair churn per claim.
+func TestClaimReuseMatchesReference(t *testing.T) {
+	al := NewAllocator()
+	seeds := int64(300)
+	if testing.Short() {
+		seeds = 60
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed + 91000))
+		ls, ds, theta := randomCase(rng)
+		sameResult(t, seed, greedyReference(ls, theta, ds), al.Greedy(ls, theta, ds))
+	}
+	if al.stat.claimFast == 0 {
+		t.Error("no chain fast-path answers across the narrow run")
+	}
+}
+
+// claimRepairCase is the benchmark fixture: a 200-site spine with chords and
+// a hot demand set drawn from a small endpoint pool, so successive claims
+// share sources (one repaired tree serves many demands), saturate edges
+// mid-run (forcing repairs rather than pure fast-path walks), and drive the
+// four-word register engines.
+func claimRepairCase() (*topology.LinkSet, []Demand) {
+	ls := topology.NewLinkSet(200)
+	for i := 0; i+1 < ls.N; i++ {
+		ls.Add(i, i+1, 3)
+	}
+	for i := 0; i+23 < ls.N; i += 11 {
+		ls.Add(i, i+23, 1)
+	}
+	rng := rand.New(rand.NewSource(17))
+	pool := []int{0, 1, 2, 3}
+	var ds []Demand
+	for i := 0; i < 400; i++ {
+		s, d := pool[rng.Intn(len(pool))], 20+rng.Intn(ls.N-20)
+		if s == d {
+			continue
+		}
+		ds = append(ds, Demand{ID: i, Src: s, Dst: d, RateGbps: 40 + rng.Float64()*80})
+	}
+	return ls, ds
+}
+
+// BenchmarkClaimRepair measures the steady-state greedy allocation with the
+// claim-tree store on (the default): saturations repair the claiming tree in
+// place and same-source demands share it.
+func BenchmarkClaimRepair(b *testing.B) {
+	ls, ds := claimRepairCase()
+	al := NewAllocator()
+	al.Throughput(ls, 10, ds) // warm buffers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.Throughput(ls, 10, ds)
+	}
+}
+
+// BenchmarkClaimRepairCold is the same workload with claim reuse disabled —
+// every claim verification rebuilds its tree from scratch. The gap to
+// BenchmarkClaimRepair is what the repair path buys.
+func BenchmarkClaimRepairCold(b *testing.B) {
+	ls, ds := claimRepairCase()
+	al := NewAllocator()
+	al.SetClaimReuse(false)
+	al.Throughput(ls, 10, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.Throughput(ls, 10, ds)
+	}
+}

@@ -165,9 +165,12 @@ func TestThroughputPatchedQuad(t *testing.T) {
 // TestFrontierSparseDenseCrossing pins the bSparse enumeration threshold in
 // resumeStampWd (65–128 sites — the four-word engine has no sparse list to
 // cross). The graphs are dense enough that mid-sweep frontiers exceed bSparse
-// nodes: every BFS starts sparse (a frontier of one), so a call whose
-// counters show both modes crossed the threshold within a single sweep. The
-// results must still match the reference exactly on both sides of the
+// nodes: every BFS starts sparse (a frontier of one), so sweeps must cross
+// the threshold — within one call when a sweep spans several levels, or
+// across a suspension when tier-truncated sweeps advance one level per call
+// and the persisted sparse list carries the entry mode over. Sparse-list
+// levels, word-swept levels, and threshold crossings must all be observed,
+// and the results must match the reference exactly on both sides of every
 // crossing.
 func TestFrontierSparseDenseCrossing(t *testing.T) {
 	al := NewAllocator()

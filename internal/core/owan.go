@@ -305,6 +305,18 @@ type Owan struct {
 	nbAcc    []pairDelta
 	nbPatch  []topology.Link
 	nbMerged []topology.Link
+	// nbLinks is swapOnce's enumeration scratch: one sorted-view copy per
+	// proposal was the other per-candidate allocation next to Clone.
+	nbLinks []topology.Link
+	// lsPool recycles candidate LinkSets through the annealing loop: a
+	// batch's rejected candidates and computeNeighbor's intermediate hops
+	// come back here and the next swapOnce copies over them instead of
+	// allocating a fresh Clone (map, buckets, sorted view) per proposal.
+	// Only pointers whose last reference is provably dropped may enter the
+	// pool; anything that escapes — the returned best state, any replica's
+	// current state — never does. Bounded by the largest batch in flight
+	// (Replicas×BatchSize plus NeighborMoves intermediates).
+	lsPool []*topology.LinkSet
 	// Warm-start state: the previous slot's accepted (best) energy and the
 	// temperature its cooling schedule ended at. Recorded by every search
 	// (recording is inert), consumed only when Config.WarmStart is set.
@@ -362,8 +374,8 @@ func (o *Owan) Energy(s *topology.LinkSet, demands []alloc.Demand) float64 {
 // the calling goroutine; both provide reusable scratch, so steady-state
 // evaluations perform near-zero heap allocations.
 func energyOn(opt *optical.State, al *alloc.Allocator, theta float64, s *topology.LinkSet, demands []alloc.Demand) float64 {
-	eff := opt.ProvisionEffective(s)
-	return al.Throughput(eff, theta, demands)
+	eff := opt.ProvisionEffectiveEnum(s)
+	return al.ThroughputLinks(s.N, eff, theta, demands)
 }
 
 // SetUnitRegenWeights forwards the regenerator-balancing ablation knob to
@@ -390,8 +402,11 @@ func (o *Owan) SetUnitRegenWeights(on bool) {
 // over; topology state lives with the caller, so warm starts persist.
 //
 // The provision cache is migrated rather than dropped: an entry survives
-// when its provisioning run was direct-only and every link of its topology
-// routes identically on the reduced network (optical.SameDirectRouting) —
+// when its provisioning run stayed on the direct-segment fast path and
+// every link of its topology routes identically on the reduced network —
+// audited against the primary routes alone (optical.SameDirectRouting) for
+// primary-only runs, or against the primary plus the full alternate table
+// (optical.SameSegmentRouting) for runs that also drew on alternates —
 // conditions under which re-provisioning provably reproduces the cached
 // effective links. On a typical single-fiber failure most site pairs keep
 // their routes, so the failure-response search starts with a warm cache
@@ -414,7 +429,7 @@ func (o *Owan) WithoutFiber(fiberID int) *Owan {
 	nw := New(cfg)
 	if nw.provCache != nil && o.provCache != nil {
 		var links []topology.Link
-		nw.provCache.migrateFrom(o.provCache, func(key []byte, n int) bool {
+		nw.provCache.migrateFrom(o.provCache, func(key []byte, n int, direct bool) bool {
 			var kn int
 			var ok bool
 			kn, links, ok = topology.DecodeKey(key, links[:0])
@@ -422,7 +437,11 @@ func (o *Owan) WithoutFiber(fiberID int) *Owan {
 				return false
 			}
 			for _, l := range links {
-				if !o.opt.SameDirectRouting(nw.opt, l.U, l.V) {
+				if direct {
+					if !o.opt.SameDirectRouting(nw.opt, l.U, l.V) {
+						return false
+					}
+				} else if !o.opt.SameSegmentRouting(nw.opt, l.U, l.V) {
 					return false
 				}
 			}
@@ -454,14 +473,39 @@ func (o *Owan) computeNeighbor(rng *rand.Rand, s *topology.LinkSet) *topology.Li
 			}
 			return nil
 		}
+		if out != s {
+			// Intermediate hop: its content was just copied into n and
+			// nothing else can reference it.
+			o.putLinkSet(out)
+		}
 		out = n
 	}
 	return out
 }
 
+// takeLinkSet returns a mutable copy of src, reusing pooled storage when
+// available. The copy is content-identical to src.Clone(), sorted view
+// included, so pooling never changes a trajectory.
+func (o *Owan) takeLinkSet(src *topology.LinkSet) *topology.LinkSet {
+	if k := len(o.lsPool) - 1; k >= 0 {
+		n := o.lsPool[k]
+		o.lsPool = o.lsPool[:k]
+		n.CopyFrom(src)
+		return n
+	}
+	return src.Clone()
+}
+
+// putLinkSet surrenders a LinkSet to the recycling pool. The caller asserts
+// it holds the last live reference.
+func (o *Owan) putLinkSet(s *topology.LinkSet) {
+	o.lsPool = append(o.lsPool, s)
+}
+
 // swapOnce applies one elementary 2-circuit swap, drawing from rng.
 func (o *Owan) swapOnce(rng *rand.Rand, s *topology.LinkSet) *topology.LinkSet {
-	links := s.Links()
+	links := s.AppendLinks(o.nbLinks[:0])
+	o.nbLinks = links
 	if len(links) == 0 || s.TotalCircuits() < 2 {
 		return nil
 	}
@@ -501,7 +545,7 @@ func (o *Owan) swapOnce(rng *rand.Rand, s *topology.LinkSet) *topology.LinkSet {
 		if canonEq(u, v, p, q) && s.Get(u, v) < 2 {
 			continue
 		}
-		n := s.Clone()
+		n := o.takeLinkSet(s)
 		n.Add(u, v, -1)
 		n.Add(p, q, -1)
 		n.Add(u, p, 1)
@@ -605,7 +649,7 @@ func (o *Owan) ComputeNetworkState(current *topology.LinkSet, active []*transfer
 		key := sBest.AppendKey(ev.ctx0.keyBuf[:0])
 		ev.ctx0.keyBuf = key
 		ev.ctx0.eff = eff.AppendLinks(ev.ctx0.eff[:0])
-		o.provCache.put(topology.KeyHash(key), key, eff.N, ev.ctx0.eff, o.opt.DirectOnly())
+		o.provCache.put(topology.KeyHash(key), key, eff.N, ev.ctx0.eff, o.opt.DirectOnly(), o.opt.SegmentOnly())
 	}
 	res := o.al.Greedy(eff, o.cfg.Net.ThetaGbps, demands)
 	stats.BestEnergy = eBest
@@ -817,6 +861,15 @@ func (o *Owan) classicAnneal(ev *evaluator, current, sCur *topology.LinkSet, eCu
 		}
 		for i := 0; i < nCand; i++ {
 			mats[i] = nil
+		}
+		if !useDelta {
+			// Recycle the batch: every candidate the reduction did not
+			// retain as the current or best state is dead.
+			for _, c := range cands {
+				if c != sCur && c != sBest {
+					o.putLinkSet(c)
+				}
+			}
 		}
 		batches++
 		if earlyExit && batches%o.cfg.ExchangeInterval == 0 {

@@ -440,10 +440,9 @@ func (ev *evaluator) energyFull(ctx *workerCtx, s *topology.LinkSet) float64 {
 	}
 	ev.provMiss[ctx.id]++
 	ctx.loadedGen = -1 // provisioning overwrites this context's occupancy
-	eff := ctx.opt.ProvisionEffective(s)
-	ctx.eff = eff.AppendLinks(ctx.eff[:0])
-	pc.put(h, key, eff.N, ctx.eff, ctx.opt.DirectOnly())
-	return ctx.al.ThroughputLinks(eff.N, ctx.eff, theta, ev.demands)
+	ctx.eff = ctx.opt.ProvisionEffectiveLinks(ctx.merged, ctx.eff[:0])
+	pc.put(h, key, s.N, ctx.eff, ctx.opt.DirectOnly(), ctx.opt.SegmentOnly())
+	return ctx.al.ThroughputLinks(s.N, ctx.eff, theta, ev.demands)
 }
 
 // deltaEnergy evaluates one move-list candidate against the current
@@ -513,7 +512,7 @@ func (ev *evaluator) deltaEnergy(ctx *workerCtx, moves []swapMove) (float64, boo
 		ev.provMiss[ctx.id]++
 		ctx.loadedGen = -1 // the cold provisioning below overwrites the occupancy
 		ctx.eff = ctx.opt.ProvisionEffectiveLinks(ctx.merged, ctx.eff[:0])
-		pc.put(h, key, ev.snap.N(), ctx.eff, ctx.opt.DirectOnly())
+		pc.put(h, key, ev.snap.N(), ctx.eff, ctx.opt.DirectOnly(), ctx.opt.SegmentOnly())
 		return ctx.al.ThroughputLinks(ev.snap.N(), ctx.eff, theta, ev.demands), false
 	}
 	ctx.loadedGen = -1 // the cold provisioning below overwrites the occupancy

@@ -40,13 +40,18 @@ type provEntry struct {
 	key   []byte
 	n     int // number of sites of the cached topology
 	links []topology.Link
-	// directOnly records optical.State.DirectOnly() of the provisioning run
-	// that produced this entry: every circuit was a single direct segment on
-	// the precomputed pair routes. Only such entries can be proven still
-	// valid after a fiber removal (see migrateFrom).
-	directOnly bool
-	prev, next int32
-	bnext      int32
+	// directOnly and segmentOnly record the provisioning run's audit tier
+	// (optical.State.DirectOnly/SegmentOnly): directOnly means every circuit
+	// was a single direct segment on its pair's PRIMARY route; segmentOnly
+	// means every circuit was a direct segment on its primary or one of its
+	// precomputed ALTERNATES (no regenerator graph). Only these two classes
+	// can be proven still valid after a fiber removal — the first against
+	// the primary tables alone, the second against primaries plus the full
+	// alternate tables (see migrateFrom).
+	directOnly  bool
+	segmentOnly bool
+	prev, next  int32
+	bnext       int32
 }
 
 func newProvisionCache(capacity int) *provisionCache {
@@ -132,8 +137,8 @@ func (c *provisionCache) get(hash uint64, key []byte, dst []topology.Link) ([]to
 
 // put records the effective links of a topology, copying key and links into
 // the slot's retained buffers (evicted entries donate theirs). directOnly
-// carries the provisioning run's audit flag (see provEntry).
-func (c *provisionCache) put(hash uint64, key []byte, n int, links []topology.Link, directOnly bool) {
+// and segmentOnly carry the provisioning run's audit tier (see provEntry).
+func (c *provisionCache) put(hash uint64, key []byte, n int, links []topology.Link, directOnly, segmentOnly bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if idx := c.find(hash, key); idx >= 0 {
@@ -167,6 +172,7 @@ func (c *provisionCache) put(hash uint64, key []byte, n int, links []topology.Li
 	e.n = n
 	e.links = append(e.links[:0], links...)
 	e.directOnly = directOnly
+	e.segmentOnly = segmentOnly
 	if h, ok := c.m[hash]; ok {
 		e.bnext = h
 	} else {
@@ -186,14 +192,17 @@ func (c *provisionCache) put(hash uint64, key []byte, n int, links []topology.Li
 
 // migrateFrom copies the still-valid entries of old into c, preserving
 // recency order (oldest first, so old's most-recent entry ends up at c's
-// LRU front). An entry qualifies when its provisioning run was direct-only
-// AND the caller-supplied predicate confirms the entry's topology routes
-// identically on the new network — together those prove the cached
-// effective links are what provisioning the topology from scratch on the
-// new network would produce, so migration can never serve a stale result.
-// Everything else (regenerator-routed entries, entries whose routes moved)
-// is dropped, exactly as the old drop-the-world invalidation did for all.
-func (c *provisionCache) migrateFrom(old *provisionCache, valid func(key []byte, n int) bool) {
+// LRU front). An entry qualifies when its provisioning run stayed on the
+// direct-segment fast path — primary-only (directOnly) or primaries plus
+// alternates (segmentOnly) — AND the caller-supplied predicate confirms the
+// entry's topology routes identically on the new network at that tier:
+// together those prove the cached effective links are what provisioning the
+// topology from scratch on the new network would produce, so migration can
+// never serve a stale result. The predicate receives the entry's tier so it
+// can audit only the tables the run actually consulted. Everything else
+// (regenerator-routed entries, entries whose routes moved) is dropped,
+// exactly as the old drop-the-world invalidation did for all.
+func (c *provisionCache) migrateFrom(old *provisionCache, valid func(key []byte, n int, direct bool) bool) {
 	if c == nil || old == nil {
 		return
 	}
@@ -201,8 +210,8 @@ func (c *provisionCache) migrateFrom(old *provisionCache, valid func(key []byte,
 	defer old.mu.Unlock()
 	for idx := old.tail; idx >= 0; idx = old.entries[idx].prev {
 		e := &old.entries[idx]
-		if e.directOnly && valid(e.key, e.n) {
-			c.put(e.hash, e.key, e.n, e.links, true)
+		if (e.directOnly || e.segmentOnly) && valid(e.key, e.n, e.directOnly) {
+			c.put(e.hash, e.key, e.n, e.links, e.directOnly, e.segmentOnly)
 		}
 	}
 }

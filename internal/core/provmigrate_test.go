@@ -59,7 +59,7 @@ func TestWithoutFiberCacheMigration(t *testing.T) {
 			eff := o.opt.ProvisionEffective(s)
 			links := eff.AppendLinks(nil)
 			key := s.AppendKey(nil)
-			o.provCache.put(topology.KeyHash(key), key, eff.N, links, o.opt.DirectOnly())
+			o.provCache.put(topology.KeyHash(key), key, eff.N, links, o.opt.DirectOnly(), o.opt.SegmentOnly())
 			s = o.computeNeighbor(rng, s)
 		}
 		directEntries := 0
@@ -122,4 +122,128 @@ func TestWithoutFiberCacheMigration(t *testing.T) {
 		t.Fatalf("no cache entry ever dropped; predicate is vacuously accepting")
 	}
 	t.Logf("migrated %d entries, dropped %d", migratedTotal, droppedTotal)
+}
+
+// alternateMigrationNet is migrationNet with ONLY the duplicated fiber's
+// original squeezed to a few wavelengths. Routes through that edge keep
+// preferring the original (primary tables are load-blind), so once its λ run
+// out segmentFeasible answers from the alternate tables — whose routes cross
+// the roomy duplicate — and the run ends segment-only but not direct-only:
+// the class the alternate-path audit exists for. Every other fiber keeps the
+// default supply, so nothing exhausts globally and the regenerator graph
+// (which would demote the run below the migratable tiers) is never consulted.
+//
+// Two more roomy parallels of the same edge are appended after the
+// duplicate. The first pads the edge to kFiberPaths parallel fibers, so the
+// second — the highest-index fiber of the network — can never appear in any
+// pair's route table: every route through it has an identical-length sibling
+// over a lower-index parallel, and the tables hold at most kFiberPaths
+// routes. Failing that fiber (returned as cleanID) is therefore the
+// alternate-tier analogue of failing migrationNet's duplicate: no primary
+// moves, no alternate table changes, no fiber index shifts — the one event
+// where even alternate-routed entries are provably still valid.
+func alternateMigrationNet(sites, waves int) (*topology.Network, int, int) {
+	net, dupID := migrationNet(sites)
+	net.Fibers[0].Wavelengths = waves
+	pad := net.Fibers[len(net.Fibers)-1] // the roomy duplicate
+	pad.ID = dupID + 1
+	clean := pad
+	clean.ID = dupID + 2
+	net.Fibers = append(net.Fibers, pad, clean)
+	return net, dupID, clean.ID
+}
+
+// TestWithoutFiberAlternateCacheMigration extends the migration pin to the
+// segment-only tier: entries whose provisioning run drew on alternate fiber
+// routes must also survive a fiber failure — audited by SameSegmentRouting
+// against the full alternate tables, not just the primaries — and every
+// migrated entry must still reproduce cold provisioning on the reduced
+// network link for link. Non-vacuity is asserted at three levels: the
+// scenario must actually produce segment-only (not direct-only) runs, some
+// of those entries must migrate, and some entries must still be dropped.
+func TestWithoutFiberAlternateCacheMigration(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 3
+	}
+	migratedTotal, droppedTotal, segMigrated := 0, 0, 0
+	segEntriesTotal := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		sites := []int{12, 18, 70}[int(seed)%3]
+		net, dupID, cleanID := alternateMigrationNet(sites, 3)
+		o := New(Config{Net: net, Seed: 700 + seed})
+		rng := rand.New(rand.NewSource(1100 + seed))
+
+		s := topology.InitialTopology(net)
+		for i := 0; i < 25 && s != nil; i++ {
+			eff := o.opt.ProvisionEffective(s)
+			links := eff.AppendLinks(nil)
+			key := s.AppendKey(nil)
+			o.provCache.put(topology.KeyHash(key), key, eff.N, links, o.opt.DirectOnly(), o.opt.SegmentOnly())
+			s = o.computeNeighbor(rng, s)
+		}
+		segEntries := 0
+		for i := 0; i < o.provCache.used; i++ {
+			e := &o.provCache.entries[i]
+			if e.segmentOnly && !e.directOnly {
+				segEntries++
+			}
+		}
+		segEntriesTotal += segEntries
+
+		fids := []int{cleanID, dupID}
+		for fi := 0; fi < len(net.Fibers)-1; fi += 1 + len(net.Fibers)/4 {
+			fids = append(fids, net.Fibers[fi].ID)
+		}
+		for _, fid := range fids {
+			nw := o.WithoutFiber(fid)
+			migrated := nw.provCache.used
+			migratedTotal += migrated
+			droppedTotal += o.provCache.used - migrated
+			if fid == cleanID && migrated < segEntries {
+				t.Fatalf("seed %d: failing the table-less parallel migrated %d entries, < %d segment-only ones",
+					seed, migrated, segEntries)
+			}
+
+			ref := optical.NewState(nw.cfg.Net)
+			for idx := 0; idx < migrated; idx++ {
+				e := &nw.provCache.entries[idx]
+				if e.segmentOnly && !e.directOnly {
+					segMigrated++
+				}
+				n, reqLinks, ok := topology.DecodeKey(e.key, nil)
+				if !ok || n != nw.cfg.Net.NumSites() {
+					t.Fatalf("seed %d fiber %d: bad migrated key", seed, fid)
+				}
+				req := topology.NewLinkSet(n)
+				for _, l := range reqLinks {
+					req.Add(l.U, l.V, l.Count)
+				}
+				want := ref.ProvisionEffective(req).AppendLinks(nil)
+				name := fmt.Sprintf("seed %d sites %d fiber %d entry %d", seed, sites, fid, idx)
+				if len(want) != len(e.links) {
+					t.Fatalf("%s: migrated entry has %d links, cold provisioning %d",
+						name, len(e.links), len(want))
+				}
+				for i, l := range want {
+					if e.links[i] != l {
+						t.Fatalf("%s: link %d: migrated %+v, cold %+v", name, i, e.links[i], l)
+					}
+				}
+			}
+			nw.Close()
+		}
+		o.Close()
+	}
+	if segEntriesTotal == 0 {
+		t.Fatalf("squeezed wavelengths produced no segment-only runs; scenario broken")
+	}
+	if segMigrated == 0 {
+		t.Fatalf("no segment-only entry ever migrated; the alternate audit never fires")
+	}
+	if droppedTotal == 0 {
+		t.Fatalf("no cache entry ever dropped; predicate is vacuously accepting")
+	}
+	t.Logf("segment-only entries %d, segment-only migrated %d, migrated %d, dropped %d",
+		segEntriesTotal, segMigrated, migratedTotal, droppedTotal)
 }

@@ -156,6 +156,25 @@ func (o *Owan) temperedAnneal(ev *evaluator, current, sInit *topology.LinkSet, e
 			}
 			off += counts[r]
 		}
+		// Recycle the round's dead candidates: anything no replica holds as
+		// its current state and that is not the running best has dropped its
+		// last reference. (Exchanges below only swap pointers already held
+		// by replicas, so this accounting stays exact across sweeps.)
+		for _, c := range cands {
+			if c == sBest {
+				continue
+			}
+			retained := false
+			for _, rep := range reps {
+				if rep.sCur == c {
+					retained = true
+					break
+				}
+			}
+			if !retained {
+				o.putLinkSet(c)
+			}
+		}
 		if exhausted {
 			stop = true
 		}

@@ -259,3 +259,38 @@ func TestWarmStateResetOnRegenWeights(t *testing.T) {
 		t.Error("warm start did not resume after a fresh slot rebuilt the state")
 	}
 }
+
+// TestTemperedSteadyStateAllocs bounds the per-slot allocations of a warm
+// tempered search on a persistent controller. The candidate recycling pool,
+// the enumeration scratch in swapOnce, and the static optical errors took
+// the tempered batch path from tens of thousands of allocations per slot to
+// a small residue (accepted states that escape the pool, cache bookkeeping);
+// the bound has headroom over that residue but is far below what any
+// per-proposal Clone or per-failure Errorf regression would produce.
+func TestTemperedSteadyStateAllocs(t *testing.T) {
+	net, ts := searchFixture()
+	o := New(Config{
+		Net: net, Policy: transfer.SJF, Seed: 42,
+		MaxIterations: 240, BatchSize: 4, Replicas: 4, Workers: 1,
+		WarmStart: true,
+	})
+	defer o.Close()
+	start := topology.InitialTopology(net)
+	slot := 0
+	for ; slot < 3; slot++ { // warm the evaluator, caches, and pool
+		o.ComputeNetworkState(start, ts, slot, 300)
+	}
+	iters := 0
+	avg := testing.AllocsPerRun(5, func() {
+		st := o.ComputeNetworkState(start, ts, slot, 300)
+		slot++
+		iters += st.Stats.Iterations
+	})
+	if iters == 0 {
+		t.Fatal("warm slots ran no iterations; the bound would be vacuous")
+	}
+	t.Logf("allocs per warm tempered slot: %.0f (%d iterations total)", avg, iters)
+	if avg > 2000 {
+		t.Errorf("warm tempered slot allocates %.0f objects, want <= 2000", avg)
+	}
+}

@@ -1,7 +1,7 @@
 package optical
 
 import (
-	"math"
+	"math/bits"
 
 	"owan/internal/bitset"
 	"owan/internal/topology"
@@ -253,7 +253,7 @@ func (s *State) provisionSnap(snap *Snapshot, src, dst int) bool {
 			snap.tight = true
 		}
 		for _, id := range route.ids {
-			s.fiberUse[id].set(lambda)
+			s.claimWave(id, lambda)
 		}
 		snap.segs = append(snap.segs, Segment{FiberIDs: route.ids, Wavelength: lambda, LengthKm: route.km})
 		c.segLen++
@@ -277,7 +277,15 @@ func (s *State) LoadSnapshot(snap *Snapshot) {
 			continue
 		}
 		copy(s.fiberUse[id], w)
+		// The availability index follows in the same pass: free is the
+		// capacity mask minus the snapshot occupancy (the invariant
+		// claimWave/freeWave maintain incrementally).
+		f0, ff := s.fiberFree0[id], s.fiberFree[id]
+		for j := range w {
+			ff[j] = f0[j] &^ w[j]
+		}
 	}
+	s.waveEpoch++
 	copy(s.regenFree, snap.regenFree)
 	s.regenAvail.Copy(snap.regenAvail)
 	copy(s.wRegen, snap.wRegen)
@@ -349,24 +357,30 @@ func (j *Journal) releasedOnRoute(ids []int, lambda int) bool {
 // wavelengths is free — it just reserves the contention fallback for the
 // genuinely ambiguous case where the released λ is the only option left.
 func (s *State) lambdaAvoiding(ids []int, j *Journal) int {
-	sc := s.scratchBuf()
-	sc.sets = sc.sets[:0]
-	phi := math.MaxInt
-	for _, id := range ids {
-		sc.sets = append(sc.sets, s.fiberUse[id])
-		if w := s.fiberWaves[id]; w < phi {
-			phi = w
+	if len(ids) == 0 {
+		return 0 // vacuous route, nothing to avoid
+	}
+	// Ascending set bits of the free-word intersection are exactly the
+	// common free wavelengths in ascending order (see routeLambda), so the
+	// released-λ filter walks only candidates instead of the whole range.
+	first := s.fiberFree[ids[0]]
+	nw := len(first)
+	rest := ids[1:]
+	for _, id := range rest {
+		if l := len(s.fiberFree[id]); l < nw {
+			nw = l
 		}
 	}
-scan:
-	for l := 0; l < phi; l++ {
-		for _, set := range sc.sets {
-			if set.has(l) {
-				continue scan
-			}
+	for w := 0; w < nw; w++ {
+		acc := first[w]
+		for _, id := range rest {
+			acc &= s.fiberFree[id][w]
 		}
-		if !j.releasedOnRoute(ids, l) {
-			return l
+		for ; acc != 0; acc &= acc - 1 {
+			l := w<<6 + bits.TrailingZeros64(acc)
+			if !j.releasedOnRoute(ids, l) {
+				return l
+			}
 		}
 	}
 	return -1
@@ -409,7 +423,7 @@ func (s *State) ProvisionDelta(snap *Snapshot, removed, added []topology.Link, j
 			c := &snap.circs[int(sl.circOff)+k]
 			for _, seg := range snap.segs[c.segOff : c.segOff+c.segLen] {
 				for _, fid := range seg.FiberIDs {
-					s.fiberUse[fid].clear(seg.Wavelength)
+					s.freeWave(fid, seg.Wavelength)
 					j.releases = append(j.releases, waveOp{fiber: int32(fid), lambda: int32(seg.Wavelength)})
 				}
 			}
@@ -496,7 +510,7 @@ func (s *State) provisionDelta(src, dst int, j *Journal) bool {
 			}
 		}
 		for _, id := range route.ids {
-			s.fiberUse[id].set(lambda)
+			s.claimWave(id, lambda)
 			j.claims = append(j.claims, waveOp{fiber: int32(id), lambda: int32(lambda)})
 		}
 		if i+1 < len(hops)-1 {
@@ -518,10 +532,10 @@ func (s *State) provisionDelta(src, dst int, j *Journal) bool {
 // to restore the original set bit.
 func (s *State) RevertDelta(j *Journal) {
 	for _, op := range j.claims {
-		s.fiberUse[op.fiber].clear(int(op.lambda))
+		s.freeWave(int(op.fiber), int(op.lambda))
 	}
 	for _, op := range j.releases {
-		s.fiberUse[op.fiber].set(int(op.lambda))
+		s.claimWave(int(op.fiber), int(op.lambda))
 	}
 	for _, site := range j.regenTook {
 		s.setRegen(int(site), s.regenFree[site]+1)

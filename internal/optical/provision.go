@@ -104,6 +104,21 @@ func (s *State) ProvisionEffective(ls *topology.LinkSet) *topology.LinkSet {
 	return sc.eff
 }
 
+// ProvisionEffectiveEnum realizes ls exactly like ProvisionEffective but
+// hands back the effective (U, V)-sorted link enumeration instead of a
+// LinkSet: the serial energy path consumes the result only through the
+// allocator's ThroughputLinks, so building a Count map and patching a sorted
+// view per effective link (LinkSet.Add) just to enumerate it straight back
+// out was pure overhead — about 26µs per evaluation on the 200-site ISP.
+// The returned slice lives in the State's scratch area and is valid until
+// the next ProvisionEffective/ProvisionEffectiveEnum call on this State.
+func (s *State) ProvisionEffectiveEnum(ls *topology.LinkSet) []topology.Link {
+	sc := s.scratchBuf()
+	sc.links = ls.AppendLinks(sc.links[:0])
+	sc.effLinks = s.ProvisionEffectiveLinks(sc.links, sc.effLinks[:0])
+	return sc.effLinks
+}
+
 // ProvisionEffectiveLinks is ProvisionEffective for callers that already
 // hold the (U, V)-sorted enumeration of the requested topology: it provisions
 // the same circuit sequence and appends the effective enumeration to effOut —

@@ -21,6 +21,7 @@
 package optical
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -29,6 +30,16 @@ import (
 	"owan/internal/bitset"
 	"owan/internal/graph"
 	"owan/internal/topology"
+)
+
+// Static errors for the provisioning hot path: annealing probes millions of
+// infeasible candidates, and a fmt.Errorf per failure was a measurable slice
+// of the tempered benchmarks' allocations. The pair is recoverable from the
+// call site; no caller dispatches on the message.
+var (
+	errSegmentInfeasible = errors.New("optical: segment became infeasible")
+	errNoRegenRoute      = errors.New("optical: no regenerator route within reach")
+	errExhausted         = errors.New("optical: no buildable circuit (wavelengths exhausted)")
 )
 
 // waveSet is a bitset over wavelength indices of a fiber.
@@ -50,7 +61,9 @@ func (w waveSet) popcount() int {
 }
 
 // firstCommonFree returns the lowest wavelength index free in every given
-// fiber set, or -1.
+// fiber set, or -1. It is the bit-by-bit reference the wavelength-
+// availability index (State.fiberFree) is differentially tested against;
+// the hot paths answer from the free-word summaries instead.
 func firstCommonFree(sets []waveSet, phi int) int {
 	for i := 0; i < phi; i++ {
 		free := true
@@ -102,6 +115,21 @@ type State struct {
 	// hold a nil set and zero wavelengths).
 	fiberUse   []waveSet
 	fiberWaves []int
+	// fiberFree is the wavelength-availability index: bit λ of fiberFree[f]
+	// is set iff λ < fiberWaves[f] and fiberUse[f] does not hold λ — the
+	// free wavelengths of the fiber as ready-to-intersect words. fiberFree0
+	// is its empty-network image (the per-fiber capacity mask), immutable
+	// and shared by clones; free = fiberFree0 &^ fiberUse always. Both are
+	// maintained at the single wavelength mutation points claimWave/freeWave
+	// (plus the bulk images in Reset/LoadSnapshot), mirroring how setRegen
+	// maintains regenAvail/wRegen, so routeLambda intersects a handful of
+	// words instead of probing fiberUse bit by bit. waveEpoch counts
+	// wavelength-bit mutations; the per-pair segment cache in provScratch
+	// validates against it (an unchanged epoch means no recompute can
+	// disagree with the cached answer).
+	fiberFree  []waveSet
+	fiberFree0 []waveSet
+	waveEpoch  uint64
 	regenFree  []int // remaining regenerators per site
 	// regenAvail and wRegen are the persistent compacted form of the
 	// regenerator-transit-graph vertex set that findRegenRoute's mask
@@ -126,8 +154,17 @@ type State struct {
 	// occupancy those same routes produced — the property the provision-cache
 	// migration on fiber failure needs (see SameDirectRouting).
 	directOnly bool
-	circuits   map[int]*Circuit
-	nextID     int
+	// segmentOnly is the weaker audit tier: true while every findRegenRoute
+	// call since the last Reset was answered by the direct-segment fast path
+	// — on the pair's PRIMARY route or one of its precomputed ALTERNATES —
+	// without ever consulting the regenerator graph. Such a run's decisions
+	// depend only on the pair route tables and the wavelength occupancy those
+	// routes produced, so it stays replayable across a fiber removal whenever
+	// both tables survive intact (see SameSegmentRouting). directOnly implies
+	// segmentOnly.
+	segmentOnly bool
+	circuits    map[int]*Circuit
+	nextID      int
 	// unitRegenWeights disables the inverse-remaining regenerator
 	// balancing (ablation knob): every regenerator site weighs 1.
 	unitRegenWeights bool
@@ -177,7 +214,6 @@ type State struct {
 // here is working memory whose contents are dead between exported calls;
 // buffers grow monotonically and are reused.
 type provScratch struct {
-	sets      []waveSet       // routeLambda wavelength scan buffer
 	nodes     []int           // regenerator-graph node list
 	nodeMaskW bitset.Set      // multi-word node mask (>64-site mask Dijkstra)
 	need      []int           // per-site regenerator need (routeBuildable)
@@ -186,6 +222,17 @@ type provScratch struct {
 	sp        graph.Scratch   // Dijkstra/Yen scratch for tg
 	links     []topology.Link // AppendLinks buffer (ProvisionEffective)
 	eff       *topology.LinkSet
+	effLinks  []topology.Link // effective enumeration (ProvisionEffectiveEnum)
+	// Per-ordered-pair segment-feasibility cache over the precomputed
+	// primary/alternate fiber routes: segStamp[u*ns+v] holds the waveEpoch
+	// at which segAns[u*ns+v] was computed, and the answer is valid exactly
+	// while the epoch is unchanged (no wavelength bit flipped anywhere, so a
+	// recompute would gather the same free words). segAns packs the route
+	// choice and wavelength as (routeIdx+2)<<16 | λ, routeIdx -1 = primary,
+	// k >= 0 = alternate k, -2 = infeasible (λ field 0). Allocated lazily on
+	// first segmentFeasible call; scratch-resident, so clones start cold.
+	segStamp []uint64
+	segAns   []int32
 }
 
 // fiberRoute is one candidate fiber realization of a segment.
@@ -366,10 +413,19 @@ func NewState(net *topology.Network) *State {
 		reachMaskW: rt.reachMaskW,
 		maskW:      rt.maskW,
 	}
+	s.fiberFree = make([]waveSet, maxID+1)
+	s.fiberFree0 = make([]waveSet, maxID+1)
 	for _, f := range net.Fibers {
 		s.fiberUse[f.ID] = newWaveSet(f.Wavelengths)
 		s.fiberWaves[f.ID] = f.Wavelengths
+		mask := newWaveSet(f.Wavelengths)
+		for l := 0; l < f.Wavelengths; l++ {
+			mask.set(l)
+		}
+		s.fiberFree0[f.ID] = mask
+		s.fiberFree[f.ID] = append(waveSet(nil), mask...)
 	}
+	s.waveEpoch = 1 // nonzero so zero-valued cache stamps never validate
 	for i, site := range net.Sites {
 		s.regenFree[i] = site.Regenerators
 	}
@@ -379,7 +435,29 @@ func NewState(net *topology.Network) *State {
 	s.wRegen0 = make([]float64, ns)
 	s.rebuildRegenCaches()
 	s.directOnly = true
+	s.segmentOnly = true
 	return s
+}
+
+// claimWave is the single incremental mutation point for occupying a
+// wavelength: it keeps the occupancy set and the free-word index in sync and
+// advances the availability epoch that invalidates the per-pair segment
+// cache. Every wavelength claim in the package — cold provisioning, snapshot
+// builds, delta applies and reverts — funnels through here or freeWave, so
+// fiberFree == fiberFree0 &^ fiberUse is a package invariant (asserted by
+// the randomized index property test).
+func (s *State) claimWave(f, l int) {
+	s.fiberUse[f].set(l)
+	s.fiberFree[f].clear(l)
+	s.waveEpoch++
+}
+
+// freeWave is claimWave's inverse: the single mutation point for returning a
+// wavelength to the pool.
+func (s *State) freeWave(f, l int) {
+	s.fiberUse[f].clear(l)
+	s.fiberFree[f].set(l)
+	s.waveEpoch++
 }
 
 // setRegen is the single incremental mutation point for a site's regenerator
@@ -453,6 +531,9 @@ func (s *State) Clone() *State {
 	c := &State{
 		net:              s.net,
 		fiberUse:         make([]waveSet, len(s.fiberUse)),
+		fiberFree:        make([]waveSet, len(s.fiberFree)),
+		fiberFree0:       s.fiberFree0,
+		waveEpoch:        s.waveEpoch,
 		fiberWaves:       s.fiberWaves,
 		regenFree:        append([]int(nil), s.regenFree...),
 		regenAvail:       append(bitset.Set(nil), s.regenAvail...),
@@ -460,6 +541,7 @@ func (s *State) Clone() *State {
 		regenAvail0:      append(bitset.Set(nil), s.regenAvail0...),
 		wRegen0:          append([]float64(nil), s.wRegen0...),
 		directOnly:       s.directOnly,
+		segmentOnly:      s.segmentOnly,
 		circuits:         make(map[int]*Circuit, len(s.circuits)),
 		nextID:           s.nextID,
 		unitRegenWeights: s.unitRegenWeights,
@@ -478,6 +560,7 @@ func (s *State) Clone() *State {
 	for id, w := range s.fiberUse {
 		if w != nil {
 			c.fiberUse[id] = append(waveSet(nil), w...)
+			c.fiberFree[id] = append(waveSet(nil), s.fiberFree[id]...)
 		}
 	}
 	for id, circ := range s.circuits {
@@ -492,13 +575,16 @@ func (s *State) Reset() {
 		for j := range s.fiberUse[id] {
 			s.fiberUse[id][j] = 0
 		}
+		copy(s.fiberFree[id], s.fiberFree0[id])
 	}
+	s.waveEpoch++
 	for i, site := range s.net.Sites {
 		s.regenFree[i] = site.Regenerators
 	}
 	s.regenAvail.Copy(s.regenAvail0)
 	copy(s.wRegen, s.wRegen0)
 	s.directOnly = true
+	s.segmentOnly = true
 	clear(s.circuits)
 }
 
@@ -508,6 +594,14 @@ func (s *State) Reset() {
 // depended only on the primary per-pair route tables, making them eligible
 // for migration across a fiber removal.
 func (s *State) DirectOnly() bool { return s.directOnly }
+
+// SegmentOnly reports whether every route query since the last Reset was
+// answered by the direct-segment fast path — on a primary route or one of
+// its precomputed alternates — without consulting the regenerator graph.
+// The weaker of the two audit tiers (DirectOnly implies SegmentOnly);
+// entries in this class migrate across a fiber removal when the alternate-
+// aware SameSegmentRouting holds for every link.
+func (s *State) SegmentOnly() bool { return s.segmentOnly }
 
 // RegenFree returns the number of spare regenerators at site v.
 func (s *State) RegenFree(v int) int { return s.regenFree[v] }
@@ -612,6 +706,34 @@ func sameFiberIDs(s, t *State, a, b []int) bool {
 	return true
 }
 
+// SameSegmentRouting reports whether the COMPLETE direct-segment routing for
+// the ordered pair (u, v) — the primary fiber route and the full alternate
+// table, in table order — is identical between s and t. It is the
+// alternate-aware extension of SameDirectRouting: when it holds for every
+// link of a topology whose provisioning never consulted the regenerator
+// graph (State.SegmentOnly), replaying that provisioning on t makes exactly
+// the same decisions. The induction is SameDirectRouting's, one candidate
+// deeper — segmentFeasible scans primary-then-alternates in table order and
+// takes the first route with a common free wavelength, so identical
+// candidate sequences over fibers of identical wavelength capacity, with
+// the occupancy evolving identically by induction over the circuit
+// sequence, yield the same route and wavelength choice for every circuit.
+func (s *State) SameSegmentRouting(t *State, u, v int) bool {
+	if !s.SameDirectRouting(t, u, v) {
+		return false
+	}
+	sa, ta := s.pairAlts[u][v], t.pairAlts[u][v]
+	if len(sa) != len(ta) {
+		return false
+	}
+	for i := range sa {
+		if sa[i].km != ta[i].km || !sameFiberIDs(s, t, sa[i].ids, ta[i].ids) {
+			return false
+		}
+	}
+	return true
+}
+
 // staticFeasible reports whether a circuit u->v could be provisioned on an
 // empty network (precomputed; see the regenReach field). False means the
 // pair fails in every provisioning order, independent of occupancy.
@@ -623,35 +745,82 @@ func (s *State) staticFeasible(u, v int) bool {
 // free wavelength; it returns the route and wavelength, or a nil route.
 // The shortest fiber path is tried first, then the precomputed in-reach
 // alternates (the paper's canBeBuilt check walks candidate paths the same
-// way).
+// way). The answer per ordered pair is cached against the availability
+// epoch: findRegenRoute probes a segment and provision realizes it moments
+// later, and between the two probes no wavelength moved, so the second is a
+// stamp compare instead of a route scan. The cached route is rebuilt from
+// the route tables (not stored), preserving the alias identity the
+// directOnly audit's pointer test depends on.
 func (s *State) segmentFeasible(u, v int) (fiberRoute, int) {
+	sc := s.scratchBuf()
+	ns := s.net.NumSites()
+	if sc.segStamp == nil {
+		sc.segStamp = make([]uint64, ns*ns)
+		sc.segAns = make([]int32, ns*ns)
+	}
+	pi := u*ns + v
+	if sc.segStamp[pi] == s.waveEpoch {
+		code := sc.segAns[pi]
+		switch ri := int(code>>16) - 2; {
+		case ri == -2:
+			return fiberRoute{}, -1
+		case ri == -1:
+			return fiberRoute{ids: s.pairPath[u][v], km: s.pairDist[u][v]}, int(code & 0xffff)
+		default:
+			return s.pairAlts[u][v][ri], int(code & 0xffff)
+		}
+	}
+	route, ri, l := fiberRoute{}, -2, -1
 	if s.canReach(u, v) {
-		if l := s.routeLambda(s.pairPath[u][v]); l >= 0 {
-			return fiberRoute{ids: s.pairPath[u][v], km: s.pairDist[u][v]}, l
+		if l = s.routeLambda(s.pairPath[u][v]); l >= 0 {
+			route, ri = fiberRoute{ids: s.pairPath[u][v], km: s.pairDist[u][v]}, -1
 		}
 	}
-	for _, alt := range s.pairAlts[u][v] {
-		if l := s.routeLambda(alt.ids); l >= 0 {
-			return alt, l
+	if ri == -2 {
+		for k, alt := range s.pairAlts[u][v] {
+			if l = s.routeLambda(alt.ids); l >= 0 {
+				route, ri = alt, k
+				break
+			}
 		}
 	}
-	return fiberRoute{}, -1
+	sc.segStamp[pi] = s.waveEpoch
+	if ri == -2 {
+		sc.segAns[pi] = 0 // (-2+2)<<16 | 0
+		return fiberRoute{}, -1
+	}
+	sc.segAns[pi] = int32(ri+2)<<16 | int32(l)
+	return route, l
 }
 
 // routeLambda returns the lowest wavelength free on every fiber of the
-// route, or -1. The scan sets live in the State scratch, so the per-segment
-// feasibility probe allocates nothing.
+// route, or -1: the word-ascending intersection of the fibers' free-word
+// summaries. A set bit of fiberFree[id] exists only below fiberWaves[id],
+// so the intersection is implicitly capped at the tightest fiber — the
+// lowest surviving bit is exactly firstCommonFree's answer over the
+// occupancy sets (the property test cross-checks the two).
 func (s *State) routeLambda(ids []int) int {
-	sc := s.scratchBuf()
-	sc.sets = sc.sets[:0]
-	phi := math.MaxInt
-	for _, id := range ids {
-		sc.sets = append(sc.sets, s.fiberUse[id])
-		if w := s.fiberWaves[id]; w < phi {
-			phi = w
+	if len(ids) == 0 {
+		return 0 // vacuous route: every wavelength is common-free
+	}
+	first := s.fiberFree[ids[0]]
+	nw := len(first)
+	rest := ids[1:]
+	for _, id := range rest {
+		if l := len(s.fiberFree[id]); l < nw {
+			nw = l
 		}
 	}
-	return firstCommonFree(sc.sets, phi)
+	for j := 0; j < nw; j++ {
+		acc := first[j]
+		for _, id := range rest {
+			acc &= s.fiberFree[id][j]
+		}
+		if acc != 0 {
+			return j<<6 + bits.TrailingZeros64(acc)
+		}
+	}
+	return -1
 }
 
 // Provision establishes a circuit between src and dst, consuming wavelengths
@@ -685,10 +854,10 @@ func (s *State) provision(src, dst int, record bool) (*Circuit, error) {
 		if lambda < 0 {
 			// findRegenRoute verified feasibility, so this is unreachable
 			// unless state changed concurrently.
-			return nil, fmt.Errorf("optical: segment %d-%d became infeasible", u, v)
+			return nil, errSegmentInfeasible
 		}
 		for _, id := range route.ids {
-			s.fiberUse[id].set(lambda)
+			s.claimWave(id, lambda)
 		}
 		if record {
 			c.Segments = append(c.Segments, Segment{FiberIDs: route.ids, Wavelength: lambda, LengthKm: route.km})
@@ -716,7 +885,7 @@ func (s *State) Release(id int) error {
 	}
 	for _, seg := range c.Segments {
 		for _, fid := range seg.FiberIDs {
-			s.fiberUse[fid].clear(seg.Wavelength)
+			s.freeWave(fid, seg.Wavelength)
 		}
 	}
 	for _, r := range c.RegenSites {
@@ -750,7 +919,8 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 		sc.hops = append(sc.hops[:0], src, dst)
 		return sc.hops, nil
 	}
-	s.directOnly = false // this query needs the regenerator graph
+	s.directOnly = false
+	s.segmentOnly = false // this query needs the regenerator graph
 	ns := s.net.NumSites()
 	sc := s.scratchBuf()
 	// Mask fast path (networks of at most 64 sites): run the node-weighted
@@ -775,7 +945,7 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 		hops, ok := graph.MaskShortestNodeWeighted(&sc.sp, s.reachMask, nodeMask, w, src, dst, sc.hops[:0])
 		w[src], w[dst] = wSrc, wDst
 		if !ok {
-			return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
+			return nil, errNoRegenRoute
 		}
 		sc.hops = hops
 		if s.routeBuildable(hops) {
@@ -797,7 +967,7 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 		hops, ok := graph.MaskShortestNodeWeightedW(&sc.sp, s.reachMaskW, s.maskW, sc.nodeMaskW, w, src, dst, sc.hops[:0])
 		w[src], w[dst] = wSrc, wDst
 		if !ok {
-			return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
+			return nil, errNoRegenRoute
 		}
 		sc.hops = hops
 		if s.routeBuildable(hops) {
@@ -849,7 +1019,7 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 	// regenerators for a path that revisits it.
 	sp := tg.ShortestPathScratch(&sc.sp, srcIdx, dstIdx)
 	if sp == nil {
-		return nil, fmt.Errorf("optical: no regenerator route %d->%d within reach", src, dst)
+		return nil, errNoRegenRoute
 	}
 	if hops := s.hopsOf(sp, nodes); s.routeBuildable(hops) {
 		return hops, nil
@@ -862,7 +1032,7 @@ func (s *State) findRegenRoute(src, dst int) ([]int, error) {
 			return hops, nil
 		}
 	}
-	return nil, fmt.Errorf("optical: no buildable circuit %d->%d (wavelengths exhausted)", src, dst)
+	return nil, errExhausted
 }
 
 // hopsOf maps a path in the transformed regenerator graph back to site ids.

@@ -206,6 +206,20 @@ func (ls *LinkSet) Clone() *LinkSet {
 	return c
 }
 
+// CopyFrom makes ls an exact copy of src, reusing ls's map and view
+// storage: the allocation-free Clone behind the core package's candidate
+// recycling pool. The sorted-view state carries over exactly, so a recycled
+// copy enumerates byte-identically to a fresh Clone.
+func (ls *LinkSet) CopyFrom(src *LinkSet) {
+	ls.N = src.N
+	clear(ls.Count)
+	for k, v := range src.Count {
+		ls.Count[k] = v
+	}
+	ls.view = append(ls.view[:0], src.view...)
+	ls.viewOK = src.viewOK
+}
+
 // Link is one aggregated network-layer adjacency with its circuit count.
 type Link struct {
 	U, V  int
