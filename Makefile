@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare bench-json bench-smoke temper claims faults loadgen-smoke check
+.PHONY: build vet test race bench bench-compare bench-json bench-smoke temper claims update faults loadgen-smoke check
 
 build:
 	$(GO) build ./...
@@ -28,20 +28,22 @@ BASE ?= HEAD~1
 bench-compare:
 	sh scripts/benchcompare.sh $(BASE)
 
-# bench-json runs the annealing hot-path benchmarks — including the
-# >64-site ISP100/ISP200-class energy and annealing benchmarks — and writes
+# bench-json runs the hot-path benchmarks — the >64-site ISP100/ISP200
+# energy and annealing benchmarks, the flat update planner (and its retained
+# map-based reference), and the end-to-end ISP200 slot pipeline — and writes
 # the results as a JSON map (name -> ns/op, allocs/op; schema in DESIGN.md
 # §8) so the numbers can be committed and diffed across PRs.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
-	sh scripts/benchjson.sh 'BenchmarkAnneal|BenchmarkEnergyISP|BenchmarkProvisionTopology|BenchmarkClaimRepair' $(BENCH_JSON) './...'
+	sh scripts/benchjson.sh 'BenchmarkAnneal|BenchmarkEnergyISP|BenchmarkProvisionTopology|BenchmarkClaimRepair|BenchmarkUpdatePlan|BenchmarkSimSlot' $(BENCH_JSON) './...'
 
 # bench-smoke compiles and runs every benchmark exactly once — a fast CI
 # guard that the benchmark harness itself keeps working. internal/core
 # carries the scale benchmarks (ISP100/ISP200 energy); the root package
-# carries the annealing-engine ones (AnnealISP100/AnnealISP200).
+# carries the annealing-engine ones (AnnealISP100/AnnealISP200) and the
+# ISP200 slot pipeline; internal/update carries the flat planner.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/core
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/core ./internal/update
 
 # claims replays the PR 9 incremental-engine differentials with the test
 # cache defeated: the claim-tree repair store against cold rebuilds, the
@@ -51,6 +53,16 @@ claims:
 	$(GO) test -count=1 \
 		-run 'TestClaimRepairDifferential|TestClaimReuseMatchesReference|TestLambdaIndexMatchesOccupancy|TestWithoutFiberAlternateCacheMigration' \
 		./internal/alloc/ ./internal/optical/ ./internal/core/
+
+# update replays the flat update scheduler's pinning suite with the test
+# cache defeated: the 300-seed randomized differential (flat engine vs the
+# retained map-based reference, bit-identical rounds/op order/detours/
+# timelines — including fiber-failure and forced-detour deadlock cases) and
+# the randomized step-consistency property of the planner's timeline.
+update:
+	$(GO) test -count=1 \
+		-run 'TestFlatPlannerDifferential|TestTimelineStepConsistency' \
+		./internal/update/
 
 # temper replays the committed 300-seed golden digests: the refactored
 # search loop in compat mode (Replicas=1, WarmStart=false) must reproduce
@@ -83,6 +95,7 @@ loadgen-smoke:
 
 # check is the tier-1 gate: clean build, vet, full tests, race-detected
 # internal tests (including the delta differential harnesses), the
-# tempering golden differential, a one-shot benchmark smoke, the seeded
-# fault-injection matrix, and the admission load-generator smoke.
-check: build vet test race temper claims bench-smoke faults loadgen-smoke
+# tempering golden differential, the flat-planner differential, a one-shot
+# benchmark smoke, the seeded fault-injection matrix, and the admission
+# load-generator smoke.
+check: build vet test race temper claims update bench-smoke faults loadgen-smoke

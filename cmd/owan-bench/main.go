@@ -29,8 +29,11 @@ import (
 func main() {
 	var (
 		full    = flag.Bool("full", false, "run at paper scale (slower)")
-		figSel  = flag.String("fig", "all", "figure to run: fig7|fig8|fig9|fig10a|fig10b|fig10c|fig10d|validation|failure|tempering|all")
-		topo    = flag.String("topo", "all", "topology for fig7/8/9: internet2|isp|interdc|all")
+		figSel  = flag.String("fig", "all", "figure to run: fig7|fig8|fig9|fig10a|fig10b|fig10c|fig10d|validation|failure|failure-correlated|tempering|all")
+		topo    = flag.String("topo", "all", "topology for fig7/8/9/10b: internet2|isp|interdc|isp200|all (isp200 is the opt-in stress scale; pair it with the trim flags)")
+		slots   = flag.Int("slots", 0, "override the arrival-window slot count (0 = scale default; trims large-topology runs)")
+		iters   = flag.Int("iters", 0, "override the annealing iteration cap (0 = scale default)")
+		seeds   = flag.Int("seeds", 0, "override the per-cell seed count (0 = scale default)")
 		outdir  = flag.String("outdir", "", "directory for per-figure data files (optional)")
 		workers = flag.Int("workers", 0, "annealing energy-evaluation goroutines and per-figure simulation runs in flight (0 = serial; see core.Config.Workers)")
 		batch   = flag.Int("batch", 0, "annealing candidate batch per temperature step (0 = workers; pin it when comparing -workers values — batch is part of the search semantics)")
@@ -60,6 +63,15 @@ func main() {
 	sc.OwanReplicas = *replicas
 	sc.OwanWarmStart = *warm
 	sc.FigWorkers = *workers
+	if *slots > 0 {
+		sc.HorizonSlots = *slots
+	}
+	if *iters > 0 {
+		sc.OwanIterations = *iters
+	}
+	if *seeds > 0 {
+		sc.Seeds = *seeds
+	}
 	topos := experiments.AllTopos
 	if *topo != "all" {
 		topos = []experiments.TopoKind{experiments.TopoKind(*topo)}
@@ -114,7 +126,13 @@ func main() {
 		emit(f)
 	}
 	if want("fig10b") {
-		f, err := experiments.Fig10b(sc)
+		// fig10b is an inter-DC microbenchmark by default; a single -topo
+		// selection retargets it (e.g. -topo isp200 for the stress row).
+		fig10bTopo := experiments.InterDC
+		if *topo != "all" {
+			fig10bTopo = experiments.TopoKind(*topo)
+		}
+		f, err := experiments.Fig10bAt(fig10bTopo, sc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -143,6 +161,17 @@ func main() {
 	}
 	if want("failure") {
 		f, err := experiments.FailureRecovery(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(f)
+	}
+	if *figSel == "failure-correlated" {
+		sites := sc.ISPSites
+		if *topo == string(experiments.ISP200) {
+			sites = 200
+		}
+		f, err := experiments.FailureCorrelated(sc, sites)
 		if err != nil {
 			log.Fatal(err)
 		}

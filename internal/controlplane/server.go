@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,7 @@ type Controller struct {
 	// state, and stats from the most recent consistent rollout.
 	opt        *optical.State
 	prevUpdate *update.State
+	updScratch *update.Scratch
 	lastPlan   UpdatePlanStats
 
 	shards []*admitShard
@@ -287,9 +289,17 @@ func (c *Controller) toUpdateState(st *core.NetworkState) *update.State {
 		circuits[k] = l.Count
 		fibers[k] = append([]int(nil), c.opt.FiberPathIDs(l.U, l.V)...)
 	}
+	// Flatten the allocation in sorted id order: map iteration would make
+	// the route order — and with it the planner's victim choices and
+	// summation order — vary run to run.
+	ids := make([]int, 0, len(st.Alloc))
+	for id := range st.Alloc {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
 	var routes []update.Route
-	for id, prs := range st.Alloc {
-		for _, pr := range prs {
+	for _, id := range ids {
+		for _, pr := range st.Alloc[id] {
 			routes = append(routes, update.Route{TransferID: id, Path: pr.Path, Rate: pr.Rate})
 		}
 	}
@@ -315,7 +325,10 @@ func (c *Controller) scheduleUpdate(next *update.State) {
 			free[fb.ID] = f
 		}
 	}
-	plan, err := update.BuildPlan(update.Config{Theta: c.Net.ThetaGbps, FiberFree: free}, c.prevUpdate, next)
+	if c.updScratch == nil {
+		c.updScratch = update.NewScratch()
+	}
+	plan, err := c.updScratch.BuildPlan(update.Config{Theta: c.Net.ThetaGbps, FiberFree: free}, c.prevUpdate, next)
 	if err != nil {
 		c.lastPlan = UpdatePlanStats{Err: err.Error()}
 		return

@@ -16,7 +16,7 @@ func quick() Scale {
 
 func TestBuildTopologies(t *testing.T) {
 	sc := quick()
-	for _, k := range AllTopos {
+	for _, k := range append([]TopoKind{ISP200}, AllTopos...) {
 		net, err := BuildTopology(k, sc, 1)
 		if err != nil {
 			t.Fatal(err)

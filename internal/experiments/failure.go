@@ -9,6 +9,140 @@ import (
 	"owan/internal/topology"
 )
 
+// correlatedHubCut picks a correlated failure: two fibers incident to the
+// network's highest-degree site (the hub) whose loss keeps the fiber graph
+// connected — the cut degrades capacity and forces detours without
+// stranding a site (a stranded site can never drain). Candidates are tried
+// in descending fiber-id order, i.e. the short augmentation edges the hub
+// attracted first, which is exactly the redundancy a real conduit cut near
+// a POP takes out.
+func correlatedHubCut(net *topology.Network) []int {
+	deg := make([]int, len(net.Sites))
+	for _, fb := range net.Fibers {
+		deg[fb.A]++
+		deg[fb.B]++
+	}
+	hub := 0
+	for i, d := range deg {
+		if d > deg[hub] {
+			hub = i
+		}
+	}
+	cut := map[int]bool{}
+	connected := func() bool {
+		seen := make([]bool, len(net.Sites))
+		queue := []int{0}
+		seen[0] = true
+		n := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, fb := range net.Fibers {
+				if cut[fb.ID] {
+					continue
+				}
+				w := -1
+				if fb.A == v {
+					w = fb.B
+				} else if fb.B == v {
+					w = fb.A
+				}
+				if w >= 0 && !seen[w] {
+					seen[w] = true
+					n++
+					queue = append(queue, w)
+				}
+			}
+		}
+		return n == len(net.Sites)
+	}
+	var ids []int
+	for i := len(net.Fibers) - 1; i >= 0 && len(ids) < 2; i-- {
+		fb := net.Fibers[i]
+		if fb.A != hub && fb.B != hub {
+			continue
+		}
+		cut[fb.ID] = true
+		if connected() {
+			ids = append(ids, fb.ID)
+		} else {
+			delete(cut, fb.ID)
+		}
+	}
+	return ids
+}
+
+// FailureCorrelated goes beyond the paper's single-fiber cuts (the ROADMAP
+// failure-scale item): a correlated two-fiber cut at one hub site of the
+// synthetic ISP backbone at `sites` sites — the conduit-cut case where one
+// physical event takes out multiple fiber pairs at a POP. Owan versus SWAN,
+// both with the end-to-end consistent-update planner on, so the figure
+// carries per-slot goodput and the wall-clock seconds of each slot's update
+// schedule while the network heals.
+func FailureCorrelated(sc Scale, sites int) (*figdata.Figure, error) {
+	f := figdata.NewFigure(fmt.Sprintf("failure-isp%d", sites),
+		fmt.Sprintf("Goodput and update time across a correlated 2-fiber hub cut (ISP %d)", sites),
+		"seconds", "Gbps / seconds")
+	net0 := topology.ISP(sites, sc.Ports, 1)
+	// λ=1.2 keeps a standing backlog through the cut (so the goodput dip
+	// and recovery are visible) while leaving the post-cut network enough
+	// capacity that even the static baseline eventually drains.
+	reqs, err := Workload(ISP, net0, sc, 1.2, 0, 71)
+	if err != nil {
+		return nil, err
+	}
+	cut := correlatedHubCut(net0)
+	if len(cut) < 2 {
+		return nil, fmt.Errorf("experiments: no safe correlated cut on isp%d", sites)
+	}
+	failSlot := sc.HorizonSlots / 2
+	failures := map[int][]int{failSlot: cut}
+
+	for _, ap := range []string{"owan", "swan"} {
+		net := topology.ISP(sites, sc.Ports, 1)
+		sched, err := Scheduler(ap, net, sc, false, 3, 0)
+		if err != nil {
+			return nil, err
+		}
+		if ts, ok := sched.(*sim.TEScheduler); ok {
+			ts.Net = net // enable failure awareness for the baseline
+		}
+		if c, ok := sched.(io.Closer); ok {
+			defer c.Close()
+		}
+		res, err := sim.Run(sim.Config{
+			Net:             net,
+			Initial:         topology.InitialTopology(net),
+			Scheduler:       sched,
+			Requests:        reqs,
+			SlotSeconds:     SlotSeconds,
+			MaxSlots:        50 * sc.HorizonSlots,
+			ReconfigSeconds: 4,
+			FiberFailures:   failures,
+			PlanUpdates:     true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Completed()) != len(res.Transfers) {
+			return nil, fmt.Errorf("experiments: %s did not drain after correlated cut", ap)
+		}
+		for i, thr := range res.SlotThroughput {
+			if i >= sc.HorizonSlots+4 {
+				break // arrival window plus the recovery tail
+			}
+			f.Add(ap, float64(i)*SlotSeconds, thr)
+		}
+		for i, u := range res.Updates {
+			if i >= sc.HorizonSlots+4 {
+				break
+			}
+			f.Add(ap+"-update-seconds", float64(i)*SlotSeconds, u.Seconds)
+		}
+	}
+	return f, nil
+}
+
 // FailureRecovery is an extension experiment beyond the paper's figures:
 // §3.4 argues that because Owan's search minimizes the amount of change,
 // it converges to a new feasible schedule with only incremental updates

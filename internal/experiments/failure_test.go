@@ -3,6 +3,8 @@ package experiments
 import (
 	"math"
 	"testing"
+
+	"owan/internal/topology"
 )
 
 func TestFailureRecoveryShape(t *testing.T) {
@@ -36,5 +38,78 @@ func TestFailureRecoveryShape(t *testing.T) {
 	}
 	if math.IsNaN(owan) || owan <= swan {
 		t.Errorf("post-failure goodput: owan %v <= swan %v", owan, swan)
+	}
+}
+
+func TestFailureCorrelatedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	sc := quick()
+	f, err := FailureCorrelated(sc, sc.ISPSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "failure-isp25" {
+		t.Errorf("figure id %q", f.ID)
+	}
+	// Both approaches carry goodput, and the planner produced at least one
+	// real (positive-duration) consistent schedule for each.
+	for _, ap := range []string{"owan", "swan"} {
+		var goodput, updSecs float64
+		for _, x := range f.Xs() {
+			if y, ok := f.Get(ap, x); ok {
+				goodput += y
+			}
+			if y, ok := f.Get(ap+"-update-seconds", x); ok {
+				updSecs += y
+			}
+		}
+		if goodput <= 0 {
+			t.Errorf("%s: no goodput recorded", ap)
+		}
+		if updSecs <= 0 {
+			t.Errorf("%s: no update schedule carried any wall-clock time", ap)
+		}
+	}
+}
+
+func TestCorrelatedHubCutKeepsConnectivity(t *testing.T) {
+	for _, sites := range []int{12, 25, 40} {
+		net := topology.ISP(sites, 8, 1)
+		cut := correlatedHubCut(net)
+		if len(cut) != 2 {
+			t.Fatalf("isp%d: got %d cut fibers", sites, len(cut))
+		}
+		// Re-check: the surviving fiber graph stays connected.
+		isCut := map[int]bool{cut[0]: true, cut[1]: true}
+		seen := make([]bool, len(net.Sites))
+		seen[0] = true
+		queue := []int{0}
+		n := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, fb := range net.Fibers {
+				if isCut[fb.ID] {
+					continue
+				}
+				w := -1
+				if fb.A == v {
+					w = fb.B
+				} else if fb.B == v {
+					w = fb.A
+				}
+				if w >= 0 && !seen[w] {
+					seen[w] = true
+					n++
+					queue = append(queue, w)
+				}
+			}
+		}
+		if n != len(net.Sites) {
+			t.Errorf("isp%d: cut %v disconnects the fiber graph (%d/%d reachable)",
+				sites, cut, n, len(net.Sites))
+		}
 	}
 }

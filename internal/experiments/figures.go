@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 	"time"
 
@@ -299,11 +300,18 @@ func Fig10a(sc Scale) (*figdata.Figure, error) {
 // the consistent cross-layer schedule versus a one-shot update. The states
 // come from two consecutive Owan slots on the inter-DC topology.
 func Fig10b(sc Scale) (*figdata.Figure, error) {
-	net, err := BuildTopology(InterDC, sc, 3)
+	return Fig10bAt(InterDC, sc)
+}
+
+// Fig10bAt is Fig10b parameterized by topology, so the update scheduler can
+// be exercised at stress scales (e.g. ISP200) with the same harness. The
+// inter-DC run keeps the paper figure's id; other topologies get a suffix.
+func Fig10bAt(topo TopoKind, sc Scale) (*figdata.Figure, error) {
+	net, err := BuildTopology(topo, sc, 3)
 	if err != nil {
 		return nil, err
 	}
-	reqs, err := Workload(InterDC, net, sc, 1, 0, 31)
+	reqs, err := Workload(topo, net, sc, 1, 0, 31)
 	if err != nil {
 		return nil, err
 	}
@@ -343,9 +351,17 @@ func Fig10b(sc Scale) (*figdata.Figure, error) {
 			circuits[k] = l.Count
 			fibers[k] = append([]int(nil), opt.FiberPathIDs(l.U, l.V)...)
 		}
+		// Flatten the allocation in sorted transfer-id order: map
+		// iteration order would otherwise make the emitted route list —
+		// and with it the plan's op order — vary run to run.
+		ids := make([]int, 0, len(ns.Alloc))
+		for id := range ns.Alloc {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
 		var routes []update.Route
-		for id, prs := range ns.Alloc {
-			for _, pr := range prs {
+		for _, id := range ids {
+			for _, pr := range ns.Alloc[id] {
 				routes = append(routes, update.Route{TransferID: id, Path: pr.Path, Rate: pr.Rate})
 			}
 		}
@@ -371,7 +387,12 @@ func Fig10b(sc Scale) (*figdata.Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := figdata.NewFigure("fig10b", "Throughput during update: consistent vs one-shot", "seconds", "Gbps")
+	id, title := "fig10b", "Throughput during update: consistent vs one-shot"
+	if topo != InterDC {
+		id += "-" + string(topo)
+		title += " (" + string(topo) + ")"
+	}
+	f := figdata.NewFigure(id, title, "seconds", "Gbps")
 	for _, s := range plan.Timeline(oldState) {
 		f.Add("consistent", s.T, s.Throughput)
 	}

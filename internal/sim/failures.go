@@ -28,11 +28,18 @@ func (s *GreedyScheduler) OnFiberFailure(fiberID int) {
 }
 
 // injectFailures delivers the fiber failures configured for a slot to a
-// failure-aware scheduler and returns how many were delivered.
-func injectFailures(cfg *Config, slot int) int {
+// failure-aware scheduler — and to the update planner, whose optical layer
+// must re-derive fiber routes on what survives — and returns how many were
+// delivered.
+func injectFailures(cfg *Config, slot int, planner *updatePlanner) int {
 	ids := cfg.FiberFailures[slot]
 	if len(ids) == 0 {
 		return 0
+	}
+	for _, id := range ids {
+		if planner != nil {
+			planner.onFiberFailure(id)
+		}
 	}
 	fa, ok := cfg.Scheduler.(FailureAware)
 	if !ok {

@@ -8,13 +8,22 @@
 package sim
 
 import (
-	"fmt"
+	"errors"
 	"math"
 
 	"owan/internal/core"
 	"owan/internal/te"
 	"owan/internal/topology"
 	"owan/internal/transfer"
+)
+
+// Static configuration errors (errors.Is-comparable).
+var (
+	// ErrMissingConfig is returned when net, initial topology or scheduler
+	// is absent.
+	ErrMissingConfig = errors.New("sim: net, initial topology and scheduler are required")
+	// ErrBadSlots rejects non-positive slot durations or slot counts.
+	ErrBadSlots = errors.New("sim: slot seconds and max slots must be positive")
 )
 
 // Scheduler produces the network state for each slot.
@@ -44,6 +53,11 @@ type Config struct {
 	// slot, the listed fiber ids are reported to the scheduler (if it is
 	// FailureAware).
 	FiberFailures map[int][]int
+	// PlanUpdates runs the §3.3 consistent-update planner on every slot's
+	// reconfiguration with a persistent scratch, recording per-slot plan
+	// statistics in Result.Updates — the controller-side cost of each slot,
+	// planned end to end alongside the scheduling itself.
+	PlanUpdates bool
 }
 
 // Result collects the outcome of a run.
@@ -60,6 +74,9 @@ type Result struct {
 	// MakespanSeconds is the completion time of the last transfer, or +Inf
 	// if some transfer never finished within MaxSlots.
 	MakespanSeconds float64
+	// Updates holds the per-slot consistent-update plan statistics when
+	// Config.PlanUpdates is set (one entry per simulated slot).
+	Updates []UpdateStat
 }
 
 // Completed returns the completed transfers.
@@ -76,10 +93,10 @@ func (r *Result) Completed() []*transfer.Transfer {
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Net == nil || cfg.Scheduler == nil || cfg.Initial == nil {
-		return nil, fmt.Errorf("sim: net, initial topology and scheduler are required")
+		return nil, ErrMissingConfig
 	}
 	if cfg.SlotSeconds <= 0 || cfg.MaxSlots <= 0 {
-		return nil, fmt.Errorf("sim: slot seconds and max slots must be positive")
+		return nil, ErrBadSlots
 	}
 	ts := make([]*transfer.Transfer, 0, len(cfg.Requests))
 	for _, r := range cfg.Requests {
@@ -103,12 +120,16 @@ func Run(cfg Config) (*Result, error) {
 		prevLinks, nextLinks []topology.Link
 		changed              [][2]int
 	)
+	var planner *updatePlanner
+	if cfg.PlanUpdates {
+		planner = newUpdatePlanner(cfg.Net, cfg.Initial)
+	}
 	// negligibleGbits treats sub-kilobyte residues as complete: allocators
 	// drop rates below their numerical floor, so without this cutoff a
 	// transfer could approach zero asymptotically and never finish.
 	const negligibleGbits = 1e-5
 	for slot := 0; slot < cfg.MaxSlots; slot++ {
-		injectFailures(&cfg, slot)
+		injectFailures(&cfg, slot, planner)
 		for _, t := range ts {
 			if !t.Done && t.Arrival <= slot && t.Remaining <= negligibleGbits {
 				t.Remaining = 0
@@ -123,6 +144,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 			res.SlotThroughput = append(res.SlotThroughput, 0)
 			res.Churn = append(res.Churn, 0)
+			if planner != nil {
+				res.Updates = append(res.Updates, UpdateStat{})
+			}
 			res.Slots++
 			continue
 		}
@@ -131,6 +155,9 @@ func Run(cfg Config) (*Result, error) {
 			newTopo = topo
 		}
 		churn := topo.Diff(newTopo)
+		if planner != nil {
+			res.Updates = append(res.Updates, planner.plan(newTopo, active, alloc))
+		}
 		prevLinks = topo.AppendLinks(prevLinks[:0])
 		nextLinks = newTopo.AppendLinks(nextLinks[:0])
 		changed = changedPairs(changed[:0], prevLinks, nextLinks)

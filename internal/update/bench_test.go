@@ -1,0 +1,64 @@
+package update
+
+import "testing"
+
+// benchPlan measures the steady-state planner path: one persistent Scratch
+// planning the same slot-to-slot reconfiguration over and over, exactly how
+// sim.Run drives it. ref toggles the retained map-based engine for the
+// before/after comparison.
+func benchPlan(b *testing.B, sites int, ref bool) {
+	g := newCaseGen(sites)
+	cfg, oldS, newS := g.gen(int64(9000+sites), scenBase)
+	scr := NewScratch()
+	if _, err := scr.BuildPlan(cfg, oldS, newS); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if ref {
+			_, err = referencePlan(cfg, oldS, newS)
+		} else {
+			_, err = scr.BuildPlan(cfg, oldS, newS)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdatePlanISP40(b *testing.B)  { benchPlan(b, 40, false) }
+func BenchmarkUpdatePlanISP200(b *testing.B) { benchPlan(b, 200, false) }
+
+// The retained reference engine, for the honest before/after comparison
+// (the map-based reference is the pre-PR planner shape).
+func BenchmarkUpdatePlanRefISP40(b *testing.B)  { benchPlan(b, 40, true) }
+func BenchmarkUpdatePlanRefISP200(b *testing.B) { benchPlan(b, 200, true) }
+
+// TestScratchPlanZeroAlloc pins the acceptance criterion directly: after
+// warm-up, the flat planner's scratch path performs zero allocations per
+// plan, timeline included.
+func TestScratchPlanZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is skipped in -short runs")
+	}
+	g := newCaseGen(40)
+	cfg, oldS, newS := g.gen(9040, scenBase)
+	scr := NewScratch()
+	plan, err := scr.BuildPlan(cfg, oldS, newS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr.Timeline(plan, oldS)
+	allocs := testing.AllocsPerRun(50, func() {
+		p, err := scr.BuildPlan(cfg, oldS, newS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scr.Timeline(p, oldS)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state plan+timeline allocates %.1f times per run, want 0", allocs)
+	}
+}

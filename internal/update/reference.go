@@ -1,0 +1,352 @@
+package update
+
+import "slices"
+
+// This file retains the original map-based planner as the executable
+// specification the flat engine (engine.go) is pinned against. It is the
+// pre-PR code with exactly three deliberate deltas, shared with the flat
+// engine so both sides of the differential agree by construction:
+//
+//   - route ops are keyed and ordered by the integer (TransferID, Path)
+//     identity (appendSortedRecs) instead of sorted fmt.Sprint strings;
+//   - duplicate (TransferID, Path) routes are an error instead of being
+//     silently collapsed by map upserts;
+//   - timeline totals sum live routes in the canonical route order instead
+//     of nondeterministic map-iteration order, so throughput curves are
+//     bit-reproducible.
+//
+// Everything that makes the scheduler interesting — the greedy round
+// construction with consume-on-select / release-after-round resource
+// semantics, deferred route removals, and the forced-detour fallback — is
+// untouched, and implemented twice: here with per-round full rescans over
+// maps, in engine.go with waiter lists over flat arrays. The 300-seed
+// differential (`make update`) proves the two emit bit-identical plans.
+
+// referencePlan computes a consistent round schedule transforming old into
+// new using the retained map-based algorithm.
+func referencePlan(cfg Config, oldState, newState *State) (*Plan, error) {
+	if cfg.Theta <= 0 {
+		return nil, ErrBadTheta
+	}
+	oldRecs, err := appendSortedRecs(nil, oldState.Routes)
+	if err != nil {
+		return nil, err
+	}
+	newRecs, err := appendSortedRecs(nil, newState.Routes)
+	if err != nil {
+		return nil, err
+	}
+	// Pending operations.
+	var pending []Op
+	// Circuit diffs.
+	linkSet := map[[2]int]bool{}
+	for l := range oldState.Circuits {
+		linkSet[l] = true
+	}
+	for l := range newState.Circuits {
+		linkSet[l] = true
+	}
+	links := make([][2]int, 0, len(linkSet))
+	for l := range linkSet {
+		links = append(links, l)
+	}
+	slices.SortFunc(links, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	fibersOf := func(l [2]int) []int {
+		if f, ok := newState.CircuitFibers[l]; ok {
+			return f
+		}
+		return oldState.CircuitFibers[l]
+	}
+	for _, l := range links {
+		diff := newState.Circuits[l] - oldState.Circuits[l]
+		for i := 0; i < diff; i++ {
+			pending = append(pending, Op{Kind: AddCircuit, Link: l, Fibers: fibersOf(l)})
+		}
+		for i := 0; i < -diff; i++ {
+			pending = append(pending, Op{Kind: RemoveCircuit, Link: l, Fibers: fibersOf(l)})
+		}
+	}
+	// Route diffs (by exact identity): old-side removals and rate changes
+	// first, then new-side additions, each in canonical route order.
+	for _, rec := range oldRecs {
+		r := rec.r
+		j, ok := slices.BinarySearchFunc(newRecs, rec, cmpRouteRec)
+		if !ok {
+			pending = append(pending, Op{Kind: RemoveRoute, TransferID: r.TransferID, Path: r.Path, Rate: r.Rate})
+		} else if n := newRecs[j].r; n.Rate != r.Rate {
+			pending = append(pending, Op{Kind: ChangeRoute, TransferID: r.TransferID, Path: r.Path, Rate: n.Rate, OldRate: r.Rate})
+		}
+	}
+	for _, rec := range newRecs {
+		if _, had := slices.BinarySearchFunc(oldRecs, rec, cmpRouteRec); !had {
+			r := rec.r
+			pending = append(pending, Op{Kind: AddRoute, TransferID: r.TransferID, Path: r.Path, Rate: r.Rate})
+		}
+	}
+
+	// Live state during scheduling.
+	circuits := map[[2]int]int{}
+	for l, c := range oldState.Circuits {
+		circuits[l] = c
+	}
+	fiberFree := map[int]int{}
+	for f, n := range cfg.FiberFree {
+		fiberFree[f] = n
+	}
+	load := map[[2]int]float64{}
+	for _, r := range oldState.Routes {
+		for _, l := range routeLinks(r.Path) {
+			load[l] += r.Rate
+		}
+	}
+
+	// removeNeeded reports whether tearing a route down now serves a
+	// purpose: a circuit on its path is waiting to be removed, or pending
+	// route additions need the capacity it occupies. Otherwise the route
+	// keeps carrying traffic (Dionysus removes flow only to make room),
+	// and the teardown lands in the final cleanup round.
+	removeNeeded := func(o Op, pending []Op) bool {
+		needs := map[[2]int]float64{}
+		removals := map[[2]int]bool{}
+		for _, p := range pending {
+			switch p.Kind {
+			case AddRoute:
+				for _, l := range routeLinks(p.Path) {
+					needs[l] += p.Rate
+				}
+			case ChangeRoute:
+				if d := p.Rate - p.OldRate; d > 0 {
+					for _, l := range routeLinks(p.Path) {
+						needs[l] += d
+					}
+				}
+			case RemoveCircuit:
+				removals[p.Link] = true
+			}
+		}
+		for _, l := range routeLinks(o.Path) {
+			if removals[l] {
+				return true
+			}
+			free := float64(circuits[l])*cfg.Theta - load[l]
+			if needs[l] > free+1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+	eligible := func(o Op) bool {
+		switch o.Kind {
+		case RemoveRoute:
+			return true
+		case ChangeRoute:
+			if o.Rate <= o.OldRate {
+				return true
+			}
+			delta := o.Rate - o.OldRate
+			for _, l := range routeLinks(o.Path) {
+				if float64(circuits[l])*cfg.Theta < load[l]+delta-1e-9 {
+					return false
+				}
+			}
+			return true
+		case AddRoute:
+			for _, l := range routeLinks(o.Path) {
+				if float64(circuits[l])*cfg.Theta < load[l]+o.Rate-1e-9 {
+					return false
+				}
+			}
+			return true
+		case RemoveCircuit:
+			l := o.Link
+			return float64(circuits[l]-1)*cfg.Theta >= load[l]-1e-9
+		case AddCircuit:
+			for _, f := range o.Fibers {
+				if fiberFree[f] <= 0 {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	// An op's effects split in two: consumption is applied the moment the
+	// op is selected into a round (so other candidates in the same round
+	// cannot double-book a resource), while releases only become visible
+	// after the round completes (an op must not depend on a parallel op's
+	// freed resource).
+	consume := func(o Op) {
+		switch o.Kind {
+		case AddRoute:
+			for _, l := range routeLinks(o.Path) {
+				load[l] += o.Rate
+			}
+		case ChangeRoute:
+			if d := o.Rate - o.OldRate; d > 0 {
+				for _, l := range routeLinks(o.Path) {
+					load[l] += d
+				}
+			}
+		case RemoveCircuit:
+			circuits[o.Link]--
+		case AddCircuit:
+			for _, f := range o.Fibers {
+				fiberFree[f]--
+			}
+		}
+	}
+	release := func(o Op) {
+		switch o.Kind {
+		case RemoveRoute:
+			for _, l := range routeLinks(o.Path) {
+				load[l] -= o.Rate
+			}
+		case ChangeRoute:
+			if d := o.Rate - o.OldRate; d < 0 {
+				for _, l := range routeLinks(o.Path) {
+					load[l] += d
+				}
+			}
+		case RemoveCircuit:
+			for _, f := range o.Fibers {
+				fiberFree[f]++
+			}
+		case AddCircuit:
+			circuits[o.Link]++
+		}
+	}
+
+	plan := &Plan{}
+	detoured := map[rkey]bool{}
+	for len(pending) > 0 {
+		var round []Op
+		var rest []Op
+		// Select ops one by one, consuming resources immediately so the
+		// round stays jointly feasible; releases surface after the round.
+		// Route removals are deferred while their traffic can keep
+		// flowing.
+		for _, o := range pending {
+			if o.Kind == RemoveRoute && !removeNeeded(o, pending) {
+				rest = append(rest, o)
+				continue
+			}
+			if eligible(o) {
+				consume(o)
+				round = append(round, o)
+			} else {
+				rest = append(rest, o)
+			}
+		}
+		if len(round) == 0 {
+			// Only deferred route removals left: flush them as the final
+			// cleanup round (their replacement routes are already up).
+			onlyRemovals := len(rest) > 0
+			for _, o := range rest {
+				if o.Kind != RemoveRoute {
+					onlyRemovals = false
+					break
+				}
+			}
+			if onlyRemovals {
+				for _, o := range rest {
+					consume(o)
+				}
+				round, rest = rest, nil
+			}
+		}
+		if len(round) == 0 {
+			// Deadlock: some RemoveCircuit is blocked by persisting route
+			// load, or an AddCircuit waits on wavelengths only freed by such
+			// a removal. Break it with Dionysus' fallback: temporarily
+			// remove a persisting route on the most-blocked link.
+			victim, ok := pickVictim(rest, circuits, load, cfg.Theta, newState, detoured)
+			if !ok {
+				// Return the partial plan alongside the error: the
+				// differential pins the engines' detour paths against each
+				// other even when the target is genuinely infeasible.
+				return plan, ErrDeadlock
+			}
+			plan.ForcedDetours++
+			detoured[routeKeyOf(victim.TransferID, victim.Path)] = true
+			// Remove now, restore at the very end.
+			pending = append(rest, Op{Kind: AddRoute, TransferID: victim.TransferID, Path: victim.Path, Rate: victim.Rate})
+			round = []Op{{Kind: RemoveRoute, TransferID: victim.TransferID, Path: victim.Path, Rate: victim.Rate}}
+		} else {
+			pending = rest
+		}
+		for _, o := range round {
+			release(o)
+		}
+		plan.Rounds = append(plan.Rounds, Round{Ops: round})
+	}
+	return plan, nil
+}
+
+// pickVictim finds a persisting route to detour: one crossing a link whose
+// RemoveCircuit is blocked.
+func pickVictim(pending []Op, circuits map[[2]int]int, load map[[2]int]float64, theta float64, newState *State, detoured map[rkey]bool) (Route, bool) {
+	blocked := map[[2]int]bool{}
+	for _, o := range pending {
+		if o.Kind == RemoveCircuit {
+			l := o.Link
+			if float64(circuits[l]-1)*theta < load[l] {
+				blocked[l] = true
+			}
+		}
+	}
+	for _, r := range newState.Routes {
+		if detoured[routeKeyOf(r.TransferID, r.Path)] {
+			continue
+		}
+		for _, l := range routeLinks(r.Path) {
+			if blocked[l] && r.Rate > 0 {
+				return r, true
+			}
+		}
+	}
+	return Route{}, false
+}
+
+// referenceTimeline is the map-based throughput timeline the flat
+// Scratch.Timeline is pinned against. Live routes are keyed by the integer
+// route identity; the per-sample total sums them in canonical route order
+// so the curve is deterministic and bit-comparable across engines.
+func referenceTimeline(p *Plan, oldState *State) []Sample {
+	live := map[rkey]Route{}
+	for _, r := range oldState.Routes {
+		live[routeKeyOf(r.TransferID, r.Path)] = r
+	}
+	var scratch []Route
+	total := func() float64 {
+		scratch = scratch[:0]
+		for _, r := range live {
+			scratch = append(scratch, r)
+		}
+		slices.SortFunc(scratch, cmpRoute)
+		t := 0.0
+		for _, r := range scratch {
+			t += r.Rate
+		}
+		return t
+	}
+	now := 0.0
+	samples := []Sample{{T: 0, Throughput: total()}}
+	for _, round := range p.Rounds {
+		for _, o := range round.Ops {
+			switch o.Kind {
+			case RemoveRoute:
+				delete(live, routeKeyOf(o.TransferID, o.Path))
+			case AddRoute, ChangeRoute:
+				live[routeKeyOf(o.TransferID, o.Path)] = Route{TransferID: o.TransferID, Path: o.Path, Rate: o.Rate}
+			}
+		}
+		now += round.Seconds()
+		samples = append(samples, Sample{T: now, Throughput: total()})
+	}
+	return samples
+}

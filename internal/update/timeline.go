@@ -1,7 +1,7 @@
 package update
 
 import (
-	"fmt"
+	"slices"
 
 	"owan/internal/tcp"
 )
@@ -15,35 +15,81 @@ type Sample struct {
 // Timeline evaluates the throughput carried while a consistent plan
 // executes: routes contribute their rate from the moment they are added
 // until the moment they are removed; circuit operations by construction
-// never strand a live route, so they do not interrupt traffic.
+// never strand a live route, so they do not interrupt traffic. It runs the
+// flat evaluator on a throwaway Scratch; per-slot callers should reuse a
+// Scratch and call its Timeline to avoid reallocating.
 func (p *Plan) Timeline(oldState *State) []Sample {
-	live := map[string]Route{}
+	return NewScratch().Timeline(p, oldState)
+}
+
+func eqRouteRec(a, b routeRec) bool { return cmpRoute(a.r, b.r) == 0 }
+
+// Timeline is the flat, allocation-free timeline evaluator. Every route the
+// curve can ever see — the old state's plus those the plan's route ops name
+// — gets a dense slot in a canonically-sorted table; rounds toggle slots
+// and each sample sums the live slots in ascending order, which is exactly
+// the canonical-order summation referenceTimeline performs, so the two
+// produce bit-identical curves. The returned samples alias scratch storage
+// and are valid until the next Timeline call on this Scratch.
+func (s *Scratch) Timeline(p *Plan, oldState *State) []Sample {
+	s.tlRecs = s.tlRecs[:0]
 	for _, r := range oldState.Routes {
-		live[routeKey(r)] = r
+		s.tlRecs = append(s.tlRecs, routeRec{r: r})
+	}
+	for _, round := range p.Rounds {
+		for _, o := range round.Ops {
+			switch o.Kind {
+			case AddRoute, RemoveRoute, ChangeRoute:
+				s.tlRecs = append(s.tlRecs, routeRec{r: Route{TransferID: o.TransferID, Path: o.Path, Rate: o.Rate}})
+			}
+		}
+	}
+	slices.SortFunc(s.tlRecs, cmpRouteRec)
+	s.tlRecs = slices.CompactFunc(s.tlRecs, eqRouteRec)
+	n := len(s.tlRecs)
+	s.tlRate = growF64(s.tlRate, n)
+	s.tlLive = growBool(s.tlLive, n)
+	for i := 0; i < n; i++ {
+		s.tlLive[i] = false
+	}
+	slotOf := func(id int, path []int) int {
+		i, _ := slices.BinarySearchFunc(s.tlRecs, routeRec{r: Route{TransferID: id, Path: path}}, cmpRouteRec)
+		return i
+	}
+	// Initial live set, in the state's route order (last write wins, like
+	// the reference's map upserts — a duplicate-free state never hits this).
+	for _, r := range oldState.Routes {
+		i := slotOf(r.TransferID, r.Path)
+		s.tlRate[i] = r.Rate
+		s.tlLive[i] = true
 	}
 	total := func() float64 {
 		t := 0.0
-		for _, r := range live {
-			t += r.Rate
+		for i := 0; i < n; i++ {
+			if s.tlLive[i] {
+				t += s.tlRate[i]
+			}
 		}
 		return t
 	}
 	now := 0.0
-	samples := []Sample{{T: 0, Throughput: total()}}
+	s.samples = s.samples[:0]
+	s.samples = append(s.samples, Sample{T: 0, Throughput: total()})
 	for _, round := range p.Rounds {
 		for _, o := range round.Ops {
 			switch o.Kind {
 			case RemoveRoute:
-				delete(live, routeKey(Route{TransferID: o.TransferID, Path: o.Path, Rate: o.Rate}))
+				s.tlLive[slotOf(o.TransferID, o.Path)] = false
 			case AddRoute, ChangeRoute:
-				r := Route{TransferID: o.TransferID, Path: o.Path, Rate: o.Rate}
-				live[routeKey(r)] = r
+				i := slotOf(o.TransferID, o.Path)
+				s.tlRate[i] = o.Rate
+				s.tlLive[i] = true
 			}
 		}
 		now += round.Seconds()
-		samples = append(samples, Sample{T: now, Throughput: total()})
+		s.samples = append(s.samples, Sample{T: now, Throughput: total()})
 	}
-	return samples
+	return s.samples
 }
 
 // OneShotTimeline evaluates the throughput of the naive update that pushes
@@ -123,7 +169,7 @@ func StateFromAlloc(circuits map[[2]int]int, fibers map[[2]int][]int, routes []R
 // clock.
 func OneShotTCPTimeline(oldState, newState *State, rttSeconds float64) ([]Sample, error) {
 	if rttSeconds <= 0 {
-		return nil, fmt.Errorf("update: rtt must be positive")
+		return nil, ErrBadRTT
 	}
 	changed := map[[2]int]bool{}
 	linkSet := map[[2]int]bool{}
@@ -175,7 +221,7 @@ func OneShotTCPTimeline(oldState, newState *State, rttSeconds float64) ([]Sample
 	}
 	steady := flowSamples[0].Goodput
 	if steady <= 0 {
-		return nil, fmt.Errorf("update: degenerate TCP steady state")
+		return nil, ErrDegenerateTCP
 	}
 	for i, fs := range flowSamples {
 		if i == 0 {

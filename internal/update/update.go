@@ -8,11 +8,44 @@
 // The scheduler emits rounds of operations that can safely run in parallel.
 // It also evaluates the throughput timeline during the update, which is the
 // quantity Figure 10(b) compares between consistent and one-shot updates.
+//
+// Two planner engines share these semantics. The flat engine (engine.go)
+// works on edge-id-indexed slices with a reusable Scratch and re-examines a
+// pending op only when a link it waits on changes; it is the one behind
+// BuildPlan and the per-slot pipeline in internal/sim. The retained
+// map-based engine (reference.go) is the executable specification; the two
+// are pinned bit-identical — rounds, op order, detours, timelines — by the
+// 300-seed differential in differential_test.go (`make update`).
 package update
 
 import (
-	"fmt"
-	"sort"
+	"cmp"
+	"errors"
+	"slices"
+
+	"owan/internal/topology"
+)
+
+// Static planner errors (errors.Is-comparable; none of them allocates on
+// the per-slot planning path).
+var (
+	// ErrBadTheta rejects non-positive circuit capacities.
+	ErrBadTheta = errors.New("update: theta must be positive")
+	// ErrDeadlock is returned when no consistent schedule exists even
+	// after the forced-detour fallback (the target state itself is
+	// infeasible).
+	ErrDeadlock = errors.New("update: unresolvable deadlock")
+	// ErrDuplicateRoute rejects a state carrying the same (transfer, path)
+	// route twice: route identity is the (TransferID, Path) pair, and every
+	// caller (allocator results) produces distinct paths per transfer. The
+	// planner asserts the invariant instead of silently collapsing
+	// duplicates the way the old string-keyed maps did.
+	ErrDuplicateRoute = errors.New("update: duplicate (transfer, path) route in state")
+	// ErrBadRTT rejects non-positive RTTs in OneShotTCPTimeline.
+	ErrBadRTT = errors.New("update: rtt must be positive")
+	// ErrDegenerateTCP is returned when the TCP model's steady state
+	// carries no goodput.
+	ErrDegenerateTCP = errors.New("update: degenerate TCP steady state")
 )
 
 // Op is a single update operation.
@@ -129,8 +162,56 @@ type State struct {
 	// assumed to share the same fiber route, which holds for shortest-path
 	// provisioning).
 	CircuitFibers map[[2]int][]int
-	// Routes carried in this state.
+	// Routes carried in this state. Route identity is the (TransferID,
+	// Path) pair and must be unique within a state; the planner returns
+	// ErrDuplicateRoute otherwise.
 	Routes []Route
+
+	// links is the SetTopology enumeration scratch, retained so per-slot
+	// state rebuilds reuse AppendLinks without allocating.
+	links []topology.Link
+}
+
+// Reset clears the state for reuse, keeping the map storage and slice
+// capacity so a per-slot rebuild allocates nothing in steady state.
+func (st *State) Reset() {
+	if st.Circuits == nil {
+		st.Circuits = map[[2]int]int{}
+	} else {
+		clear(st.Circuits)
+	}
+	if st.CircuitFibers == nil {
+		st.CircuitFibers = map[[2]int][]int{}
+	} else {
+		clear(st.CircuitFibers)
+	}
+	st.Routes = st.Routes[:0]
+}
+
+// SetTopology fills Circuits and CircuitFibers from a topology snapshot:
+// one entry per aggregated link of ls, with the fiber route returned by
+// fiberIDs (typically optical.(*State).FiberPathIDs; the returned slices
+// are stored as-is and must stay immutable). The enumeration reuses
+// AppendLinks into retained scratch, so after Reset a slot rebuild is
+// allocation-free once the maps have reached capacity.
+func (st *State) SetTopology(ls *topology.LinkSet, fiberIDs func(u, v int) []int) {
+	if st.Circuits == nil {
+		st.Circuits = map[[2]int]int{}
+	}
+	if st.CircuitFibers == nil {
+		st.CircuitFibers = map[[2]int][]int{}
+	}
+	st.links = ls.AppendLinks(st.links[:0])
+	for _, l := range st.links {
+		k := [2]int{l.U, l.V}
+		st.Circuits[k] = l.Count
+		st.CircuitFibers[k] = fiberIDs(l.U, l.V)
+	}
+}
+
+// AppendRoute adds one route to the state.
+func (st *State) AppendRoute(transferID int, path []int, rate float64) {
+	st.Routes = append(st.Routes, Route{TransferID: transferID, Path: path, Rate: rate})
 }
 
 // Route is a rate-carrying path of one transfer.
@@ -140,8 +221,65 @@ type Route struct {
 	Rate       float64
 }
 
-func routeKey(r Route) string {
-	return fmt.Sprint(r.TransferID, r.Path)
+// rkey is the integer route identity both engines key detour and live-route
+// tables by: the transfer id plus an FNV-1a hash of the path. It replaces
+// the old fmt.Sprint(id, path) string keys. Hash collisions between two
+// distinct paths of the same transfer are possible in principle but are
+// 2⁻⁶⁴-scale events; the flat engine additionally uses dense route indices,
+// so a collision would surface loudly in the engine differential.
+type rkey struct {
+	id   int
+	hash uint64
+}
+
+func routeKeyOf(transferID int, path []int) rkey {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range path {
+		h ^= uint64(v)
+		h *= prime64
+	}
+	return rkey{id: transferID, hash: h}
+}
+
+// cmpRoute is the canonical deterministic route order — transfer id, then
+// path lexicographically. Both engines emit route-diff ops in this order
+// (the old code ordered by the string form of fmt.Sprint keys, which sorted
+// id 10 before id 2; the canonical order is numeric).
+func cmpRoute(a, b Route) int {
+	if c := cmp.Compare(a.TransferID, b.TransferID); c != 0 {
+		return c
+	}
+	return slices.Compare(a.Path, b.Path)
+}
+
+// routeRec pairs a route with its integer key for sorted diffing.
+type routeRec struct {
+	r   Route
+	key rkey
+}
+
+func cmpRouteRec(a, b routeRec) int { return cmpRoute(a.r, b.r) }
+
+// appendSortedRecs appends one rec per route to dst[:0], sorts them into
+// the canonical order and asserts the (TransferID, Path) uniqueness
+// invariant. Shared by both engines so they agree on op ordering by
+// construction; the scheduling loops stay fully independent.
+func appendSortedRecs(dst []routeRec, routes []Route) ([]routeRec, error) {
+	dst = dst[:0]
+	for _, r := range routes {
+		dst = append(dst, routeRec{r: r, key: routeKeyOf(r.TransferID, r.Path)})
+	}
+	slices.SortFunc(dst, cmpRouteRec)
+	for i := 1; i < len(dst); i++ {
+		if dst[i].r.TransferID == dst[i-1].r.TransferID && slices.Equal(dst[i].r.Path, dst[i-1].r.Path) {
+			return dst, ErrDuplicateRoute
+		}
+	}
+	return dst, nil
 }
 
 func linkKey(u, v int) [2]int {
@@ -169,295 +307,8 @@ type Config struct {
 }
 
 // BuildPlan computes a consistent round schedule transforming old into new.
+// It runs the flat engine on a throwaway Scratch; per-slot callers should
+// hold a Scratch and call its BuildPlan to avoid reallocating.
 func BuildPlan(cfg Config, oldState, newState *State) (*Plan, error) {
-	if cfg.Theta <= 0 {
-		return nil, fmt.Errorf("update: theta must be positive")
-	}
-	// Pending operations.
-	var pending []Op
-	// Circuit diffs.
-	linkSet := map[[2]int]bool{}
-	for l := range oldState.Circuits {
-		linkSet[l] = true
-	}
-	for l := range newState.Circuits {
-		linkSet[l] = true
-	}
-	links := make([][2]int, 0, len(linkSet))
-	for l := range linkSet {
-		links = append(links, l)
-	}
-	sort.Slice(links, func(i, j int) bool {
-		if links[i][0] != links[j][0] {
-			return links[i][0] < links[j][0]
-		}
-		return links[i][1] < links[j][1]
-	})
-	fibersOf := func(l [2]int) []int {
-		if f, ok := newState.CircuitFibers[l]; ok {
-			return f
-		}
-		return oldState.CircuitFibers[l]
-	}
-	for _, l := range links {
-		diff := newState.Circuits[l] - oldState.Circuits[l]
-		for i := 0; i < diff; i++ {
-			pending = append(pending, Op{Kind: AddCircuit, Link: l, Fibers: fibersOf(l)})
-		}
-		for i := 0; i < -diff; i++ {
-			pending = append(pending, Op{Kind: RemoveCircuit, Link: l, Fibers: fibersOf(l)})
-		}
-	}
-	// Route diffs (by exact identity).
-	oldRoutes := map[string]Route{}
-	for _, r := range oldState.Routes {
-		oldRoutes[routeKey(r)] = r
-	}
-	newRoutes := map[string]Route{}
-	for _, r := range newState.Routes {
-		newRoutes[routeKey(r)] = r
-	}
-	var routeKeys []string
-	for k := range oldRoutes {
-		routeKeys = append(routeKeys, k)
-	}
-	sort.Strings(routeKeys)
-	for _, k := range routeKeys {
-		r := oldRoutes[k]
-		if n, keep := newRoutes[k]; !keep {
-			pending = append(pending, Op{Kind: RemoveRoute, TransferID: r.TransferID, Path: r.Path, Rate: r.Rate})
-		} else if n.Rate != r.Rate {
-			pending = append(pending, Op{Kind: ChangeRoute, TransferID: r.TransferID, Path: r.Path, Rate: n.Rate, OldRate: r.Rate})
-		}
-	}
-	routeKeys = routeKeys[:0]
-	for k := range newRoutes {
-		routeKeys = append(routeKeys, k)
-	}
-	sort.Strings(routeKeys)
-	for _, k := range routeKeys {
-		if _, had := oldRoutes[k]; !had {
-			r := newRoutes[k]
-			pending = append(pending, Op{Kind: AddRoute, TransferID: r.TransferID, Path: r.Path, Rate: r.Rate})
-		}
-	}
-
-	// Live state during scheduling.
-	circuits := map[[2]int]int{}
-	for l, c := range oldState.Circuits {
-		circuits[l] = c
-	}
-	fiberFree := map[int]int{}
-	for f, n := range cfg.FiberFree {
-		fiberFree[f] = n
-	}
-	load := map[[2]int]float64{}
-	for _, r := range oldState.Routes {
-		for _, l := range routeLinks(r.Path) {
-			load[l] += r.Rate
-		}
-	}
-
-	// removeNeeded reports whether tearing a route down now serves a
-	// purpose: a circuit on its path is waiting to be removed, or pending
-	// route additions need the capacity it occupies. Otherwise the route
-	// keeps carrying traffic (Dionysus removes flow only to make room),
-	// and the teardown lands in the final cleanup round.
-	removeNeeded := func(o Op, pending []Op) bool {
-		needs := map[[2]int]float64{}
-		removals := map[[2]int]bool{}
-		for _, p := range pending {
-			switch p.Kind {
-			case AddRoute:
-				for _, l := range routeLinks(p.Path) {
-					needs[l] += p.Rate
-				}
-			case ChangeRoute:
-				if d := p.Rate - p.OldRate; d > 0 {
-					for _, l := range routeLinks(p.Path) {
-						needs[l] += d
-					}
-				}
-			case RemoveCircuit:
-				removals[p.Link] = true
-			}
-		}
-		for _, l := range routeLinks(o.Path) {
-			if removals[l] {
-				return true
-			}
-			free := float64(circuits[l])*cfg.Theta - load[l]
-			if needs[l] > free+1e-9 {
-				return true
-			}
-		}
-		return false
-	}
-	eligible := func(o Op) bool {
-		switch o.Kind {
-		case RemoveRoute:
-			return true
-		case ChangeRoute:
-			if o.Rate <= o.OldRate {
-				return true
-			}
-			delta := o.Rate - o.OldRate
-			for _, l := range routeLinks(o.Path) {
-				if float64(circuits[l])*cfg.Theta < load[l]+delta-1e-9 {
-					return false
-				}
-			}
-			return true
-		case AddRoute:
-			for _, l := range routeLinks(o.Path) {
-				if float64(circuits[l])*cfg.Theta < load[l]+o.Rate-1e-9 {
-					return false
-				}
-			}
-			return true
-		case RemoveCircuit:
-			l := o.Link
-			return float64(circuits[l]-1)*cfg.Theta >= load[l]-1e-9
-		case AddCircuit:
-			for _, f := range o.Fibers {
-				if fiberFree[f] <= 0 {
-					return false
-				}
-			}
-			return true
-		}
-		return false
-	}
-	// An op's effects split in two: consumption is applied the moment the
-	// op is selected into a round (so other candidates in the same round
-	// cannot double-book a resource), while releases only become visible
-	// after the round completes (an op must not depend on a parallel op's
-	// freed resource).
-	consume := func(o Op) {
-		switch o.Kind {
-		case AddRoute:
-			for _, l := range routeLinks(o.Path) {
-				load[l] += o.Rate
-			}
-		case ChangeRoute:
-			if d := o.Rate - o.OldRate; d > 0 {
-				for _, l := range routeLinks(o.Path) {
-					load[l] += d
-				}
-			}
-		case RemoveCircuit:
-			circuits[o.Link]--
-		case AddCircuit:
-			for _, f := range o.Fibers {
-				fiberFree[f]--
-			}
-		}
-	}
-	release := func(o Op) {
-		switch o.Kind {
-		case RemoveRoute:
-			for _, l := range routeLinks(o.Path) {
-				load[l] -= o.Rate
-			}
-		case ChangeRoute:
-			if d := o.Rate - o.OldRate; d < 0 {
-				for _, l := range routeLinks(o.Path) {
-					load[l] += d
-				}
-			}
-		case RemoveCircuit:
-			for _, f := range o.Fibers {
-				fiberFree[f]++
-			}
-		case AddCircuit:
-			circuits[o.Link]++
-		}
-	}
-
-	plan := &Plan{}
-	detoured := map[string]bool{}
-	for len(pending) > 0 {
-		var round []Op
-		var rest []Op
-		// Select ops one by one, consuming resources immediately so the
-		// round stays jointly feasible; releases surface after the round.
-		// Route removals are deferred while their traffic can keep
-		// flowing.
-		for _, o := range pending {
-			if o.Kind == RemoveRoute && !removeNeeded(o, pending) {
-				rest = append(rest, o)
-				continue
-			}
-			if eligible(o) {
-				consume(o)
-				round = append(round, o)
-			} else {
-				rest = append(rest, o)
-			}
-		}
-		if len(round) == 0 {
-			// Only deferred route removals left: flush them as the final
-			// cleanup round (their replacement routes are already up).
-			onlyRemovals := len(rest) > 0
-			for _, o := range rest {
-				if o.Kind != RemoveRoute {
-					onlyRemovals = false
-					break
-				}
-			}
-			if onlyRemovals {
-				for _, o := range rest {
-					consume(o)
-				}
-				round, rest = rest, nil
-			}
-		}
-		if len(round) == 0 {
-			// Deadlock: some RemoveCircuit is blocked by persisting route
-			// load, or an AddCircuit waits on wavelengths only freed by such
-			// a removal. Break it with Dionysus' fallback: temporarily
-			// remove a persisting route on the most-blocked link.
-			victim, ok := pickVictim(rest, circuits, load, cfg.Theta, newState, detoured)
-			if !ok {
-				return nil, fmt.Errorf("update: unresolvable deadlock with %d pending ops", len(rest))
-			}
-			plan.ForcedDetours++
-			detoured[routeKey(victim)] = true
-			// Remove now, restore at the very end.
-			pending = append(rest, Op{Kind: AddRoute, TransferID: victim.TransferID, Path: victim.Path, Rate: victim.Rate})
-			round = []Op{{Kind: RemoveRoute, TransferID: victim.TransferID, Path: victim.Path, Rate: victim.Rate}}
-		} else {
-			pending = rest
-		}
-		for _, o := range round {
-			release(o)
-		}
-		plan.Rounds = append(plan.Rounds, Round{Ops: round})
-	}
-	return plan, nil
-}
-
-// pickVictim finds a persisting route to detour: one crossing a link whose
-// RemoveCircuit is blocked.
-func pickVictim(pending []Op, circuits map[[2]int]int, load map[[2]int]float64, theta float64, newState *State, detoured map[string]bool) (Route, bool) {
-	blocked := map[[2]int]bool{}
-	for _, o := range pending {
-		if o.Kind == RemoveCircuit {
-			l := o.Link
-			if float64(circuits[l]-1)*theta < load[l] {
-				blocked[l] = true
-			}
-		}
-	}
-	for _, r := range newState.Routes {
-		if detoured[routeKey(r)] {
-			continue
-		}
-		for _, l := range routeLinks(r.Path) {
-			if blocked[l] && r.Rate > 0 {
-				return r, true
-			}
-		}
-	}
-	return Route{}, false
+	return NewScratch().BuildPlan(cfg, oldState, newState)
 }
